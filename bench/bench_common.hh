@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared harness for the benchmark binaries that regenerate the
+ * paper's tables and figures (see DESIGN.md §3 and EXPERIMENTS.md).
+ */
+
+#ifndef ATTILA_BENCH_COMMON_HH
+#define ATTILA_BENCH_COMMON_HH
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "gl/context.hh"
+#include "gpu/gpu.hh"
+#include "workloads/cubes.hh"
+#include "workloads/shadows.hh"
+#include "workloads/terrain.hh"
+
+namespace attila::bench
+{
+
+/** Outcome of one simulated run. */
+struct RunResult
+{
+    u64 cycles = 0;
+    u32 frames = 0;
+    std::unique_ptr<gpu::Gpu> gpu;
+
+    /** Frames per second at the configured clock. */
+    f64
+    fps() const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<f64>(frames) *
+               static_cast<f64>(gpu->config().clockMHz) * 1e6 /
+               static_cast<f64>(cycles);
+    }
+
+    u64
+    stat(const std::string& name) const
+    {
+        const sim::Statistic* s = gpu->stats().find(name);
+        return s ? s->total() : 0;
+    }
+
+    /** Sum a statistic over unit instances 0..count-1. */
+    u64
+    statSum(const std::string& prefix, u32 count,
+            const std::string& suffix) const
+    {
+        u64 total = 0;
+        for (u32 i = 0; i < count; ++i) {
+            total += stat(prefix + std::to_string(i) + "." + suffix);
+        }
+        return total;
+    }
+};
+
+/** Build a workload's command stream. */
+inline gpu::CommandList
+buildCommands(workloads::Workload& workload)
+{
+    const workloads::WorkloadParams& params = workload.params();
+    gl::Context ctx(params.width, params.height, 64u << 20);
+    workload.setup(ctx);
+    for (u32 f = 0; f < params.frames; ++f)
+        workload.renderFrame(ctx, f);
+    return ctx.takeCommands();
+}
+
+/** Run @p commands on a GPU with @p config. */
+inline RunResult
+run(const gpu::CommandList& commands, gpu::GpuConfig config,
+    u32 frames)
+{
+    config.memorySize = 64u << 20;
+    RunResult result;
+    result.gpu = std::make_unique<gpu::Gpu>(config);
+    result.gpu->dac().setKeepLastOnly(true);
+    result.gpu->submit(commands);
+    if (!result.gpu->runUntilIdle(2'000'000'000ull)) {
+        std::cerr << "warning: pipeline did not drain\n";
+    }
+    result.cycles = result.gpu->cycle();
+    result.frames = frames;
+    return result;
+}
+
+/** The reduced-scale stand-ins for the paper's game traces. */
+inline workloads::WorkloadParams
+benchParams(u32 frames = 2, u32 size = 192, u32 aniso = 8)
+{
+    workloads::WorkloadParams params;
+    params.width = size;
+    params.height = size;
+    params.frames = frames;
+    params.textureSize = 64;
+    params.anisotropy = aniso;
+    params.detail = 8;
+    return params;
+}
+
+inline void
+printHeader(const std::string& title)
+{
+    std::cout << "\n==== " << title << " ====\n";
+}
+
+} // namespace attila::bench
+
+#endif // ATTILA_BENCH_COMMON_HH

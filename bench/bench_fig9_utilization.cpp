@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Figure 9 reproduction: workload characterization — per-unit
+ * utilization sampled every 10K cycles over a frame, for (top to
+ * bottom in the paper): thread window with 3 TUs, thread window
+ * with 1 TU, and the in-order shader input queue with 3 TUs.
+ *
+ * Paper shape: with the queue every unit is under-utilized (texture
+ * latency is never hidden); with the window and 1 TU the texture
+ * unit saturates at 95-99% — the GPU is texture-limited.
+ */
+
+#include "bench_common.hh"
+
+using namespace attila;
+using namespace attila::bench;
+
+namespace
+{
+
+struct UnitSeries
+{
+    std::string label;
+    std::vector<f64> utilization; ///< 0..1 per window.
+};
+
+void
+printSeries(const std::vector<UnitSeries>& series)
+{
+    const char* shade = " .:-=+*#%@";
+    std::size_t windows = 0;
+    for (const auto& s : series)
+        windows = std::max(windows, s.utilization.size());
+    windows = std::min<std::size_t>(windows, 70);
+    for (const auto& s : series) {
+        std::cout << "  " << std::left << std::setw(16) << s.label
+                  << " ";
+        f64 avg = 0.0;
+        for (std::size_t w = 0; w < windows; ++w) {
+            const f64 u = w < s.utilization.size()
+                              ? s.utilization[w]
+                              : 0.0;
+            avg += u;
+            std::cout << shade[static_cast<u32>(
+                std::min(0.999, u) * 10)];
+        }
+        if (windows)
+            avg /= static_cast<f64>(windows);
+        std::cout << "  avg " << std::fixed << std::setprecision(0)
+                  << avg * 100 << "%\n";
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    printHeader("Figure 9: unit utilization per 10K-cycle window");
+
+    auto params = benchParams(/*frames=*/1);
+    workloads::ShadowsWorkload shadows(params);
+    const gpu::CommandList commands = buildCommands(shadows);
+
+    struct Config
+    {
+        const char* name;
+        gpu::ShaderScheduling mode;
+        u32 tus;
+    };
+    const Config configs[] = {
+        {"thread window, 3 TUs",
+         gpu::ShaderScheduling::ThreadWindow, 3},
+        {"thread window, 1 TU",
+         gpu::ShaderScheduling::ThreadWindow, 1},
+        {"in-order queue, 3 TUs",
+         gpu::ShaderScheduling::InOrderQueue, 3},
+    };
+
+    for (const Config& cfg : configs) {
+        const auto config =
+            gpu::GpuConfig::caseStudy(cfg.mode, cfg.tus);
+        RunResult result = run(commands, config, params.frames);
+        std::cout << "\n--- " << cfg.name << " ("
+                  << result.cycles << " cycles) ---\n";
+
+        auto busySeries = [&](const std::string& statName,
+                              const std::string& label)
+            -> UnitSeries {
+            UnitSeries s;
+            s.label = label;
+            const auto* stat = result.gpu->stats().find(statName);
+            if (!stat)
+                return s;
+            const u64 window = result.gpu->config().statsWindow;
+            for (u64 busy : stat->samples()) {
+                s.utilization.push_back(
+                    static_cast<f64>(busy) /
+                    static_cast<f64>(window));
+            }
+            return s;
+        };
+
+        std::vector<UnitSeries> series;
+        series.push_back(
+            busySeries("Streamer.busyCycles", "streamer"));
+        series.push_back(busySeries(
+            "FragmentGenerator.busyCycles", "frag gen"));
+        // Shader pool: average across units.
+        {
+            UnitSeries s;
+            s.label = "shader pool";
+            for (u32 u = 0; u < config.numShaders; ++u) {
+                const auto part = busySeries(
+                    "ShaderUnit" + std::to_string(u) +
+                        ".busyCycles",
+                    "");
+                if (s.utilization.size() <
+                    part.utilization.size()) {
+                    s.utilization.resize(part.utilization.size(),
+                                         0.0);
+                }
+                for (std::size_t w = 0;
+                     w < part.utilization.size(); ++w) {
+                    s.utilization[w] +=
+                        part.utilization[w] / config.numShaders;
+                }
+            }
+            series.push_back(std::move(s));
+        }
+        {
+            UnitSeries s;
+            s.label = "texture units";
+            for (u32 t = 0; t < cfg.tus; ++t) {
+                const auto part = busySeries(
+                    "TextureUnit" + std::to_string(t) +
+                        ".busyCycles",
+                    "");
+                if (s.utilization.size() <
+                    part.utilization.size()) {
+                    s.utilization.resize(part.utilization.size(),
+                                         0.0);
+                }
+                for (std::size_t w = 0;
+                     w < part.utilization.size(); ++w) {
+                    s.utilization[w] +=
+                        part.utilization[w] / cfg.tus;
+                }
+            }
+            series.push_back(std::move(s));
+        }
+        series.push_back(
+            busySeries("ZStencilTest0.busyCycles", "rop z"));
+        series.push_back(
+            busySeries("ColorWrite0.busyCycles", "rop color"));
+
+        printSeries(series);
+    }
+    std::cout << "\nPaper shape: the queue configuration leaves every"
+                 " unit idle most of the time;\nthe 1 TU window"
+                 " configuration saturates the texture unit"
+                 " (95-99%).\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulation framework
+ * primitives (paper §3 claims the box/signal model is cheap enough
+ * for cycle-level full-GPU simulation): signal throughput, object
+ * pool recycling, shader emulator instruction rate, cache access
+ * rate, rasterizer setup and Z-tile compression.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "emu/fragment_op_emulator.hh"
+#include "emu/rasterizer_emulator.hh"
+#include "emu/shader_emulator.hh"
+#include "emu/z_compressor.hh"
+#include "sim/object_pool.hh"
+#include "sim/signal.hh"
+
+using namespace attila;
+
+static void
+BM_SignalWriteRead(benchmark::State& state)
+{
+    sim::Signal signal("bench", 4, 2);
+    auto obj = std::make_shared<sim::DynamicObject>();
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        signal.write(cycle, obj);
+        benchmark::DoNotOptimize(signal.read(cycle + 2));
+        ++cycle;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignalWriteRead);
+
+static void
+BM_ObjectPoolAcquire(benchmark::State& state)
+{
+    sim::ObjectPool<sim::DynamicObject> pool;
+    for (auto _ : state) {
+        auto obj = pool.acquire();
+        benchmark::DoNotOptimize(obj.get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectPoolAcquire);
+
+static void
+BM_SharedPtrBaseline(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto obj = std::make_shared<sim::DynamicObject>();
+        benchmark::DoNotOptimize(obj.get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedPtrBaseline);
+
+static void
+BM_ShaderEmulatorInstructions(benchmark::State& state)
+{
+    emu::ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBvp1.0
+TEMP r0, r1;
+DP4 r0.x, program.env[0], vertex.position;
+DP4 r0.y, program.env[1], vertex.position;
+DP4 r0.z, program.env[2], vertex.position;
+DP4 r0.w, program.env[3], vertex.position;
+MAD r1, r0, program.env[4], program.env[5];
+MOV result.position, r1;
+MOV result.color, vertex.color;
+END
+)");
+    emu::ShaderEmulator emulator;
+    emu::ConstantBank constants{};
+    emu::ShaderThreadState thread;
+    for (auto _ : state) {
+        thread.pc = 0;
+        thread.killed = false;
+        emulator.run(*prog, constants, thread);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (prog->length() - 1));
+}
+BENCHMARK(BM_ShaderEmulatorInstructions);
+
+static void
+BM_TriangleSetup(benchmark::State& state)
+{
+    const emu::Viewport vp{0, 0, 1024, 768};
+    u64 seed = 1;
+    for (auto _ : state) {
+        seed = seed * 6364136223846793005ull + 1;
+        const f32 jitter =
+            static_cast<f32>((seed >> 40) & 0xff) / 256.0f;
+        auto setup = emu::RasterizerEmulator::setup(
+            {-0.5f + jitter, -0.5f, 0.1f, 1.0f},
+            {0.5f, -0.25f, 0.2f, 1.2f},
+            {0.0f, 0.6f, 0.3f, 0.9f}, vp);
+        benchmark::DoNotOptimize(setup);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TriangleSetup);
+
+static void
+BM_FragmentCoverage(benchmark::State& state)
+{
+    const emu::Viewport vp{0, 0, 256, 256};
+    const auto tri = emu::RasterizerEmulator::setup(
+        {-1, -1, 0, 1}, {3, -1, 0, 1}, {-1, 3, 0, 1}, vp);
+    s32 x = 0, y = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            emu::RasterizerEmulator::evalFragment(tri, x, y));
+        x = (x + 7) & 255;
+        y = (y + 3) & 255;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FragmentCoverage);
+
+static void
+BM_ZTileCompress(benchmark::State& state)
+{
+    std::array<u32, emu::zTileWords> tile;
+    for (u32 y = 0; y < 8; ++y) {
+        for (u32 x = 0; x < 8; ++x) {
+            tile[y * 8 + x] = emu::packDepthStencil(
+                1000000 + x * 977 + y * 311, 0);
+        }
+    }
+    for (auto _ : state) {
+        auto result = emu::ZCompressor::compress(tile);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZTileCompress);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ClipperEmulator: trivial rejection of triangles completely outside
+ * the frustum volume (paper §3).  ATTILA's clipper performs only
+ * trivial rejection; partially visible triangles flow on to the
+ * rasterizer, which handles them via 2D homogeneous rasterization.
+ */
+
+#ifndef ATTILA_EMU_CLIPPER_EMULATOR_HH
+#define ATTILA_EMU_CLIPPER_EMULATOR_HH
+
+#include "emu/vector.hh"
+
+namespace attila::emu
+{
+
+/** Trivial-rejection clipper. */
+class ClipperEmulator
+{
+  public:
+    /**
+     * True when the triangle with clip-space positions @p v0 @p v1
+     * @p v2 is certainly invisible: all three vertices lie outside
+     * the same frustum plane (|x| <= w, |y| <= w, -w <= z <= w) or
+     * all have non-positive w.
+     */
+    static bool
+    trivialReject(const Vec4& v0, const Vec4& v1, const Vec4& v2)
+    {
+        const Vec4* v[3] = {&v0, &v1, &v2};
+
+        bool allWNonPositive = true;
+        for (u32 i = 0; i < 3; ++i)
+            allWNonPositive &= v[i]->w <= 0.0f;
+        if (allWNonPositive)
+            return true;
+
+        // One outcode bit per frustum plane.
+        u32 andCode = ~0u;
+        for (u32 i = 0; i < 3; ++i) {
+            const Vec4& p = *v[i];
+            u32 code = 0;
+            if (p.x < -p.w) code |= 1u << 0;
+            if (p.x > p.w) code |= 1u << 1;
+            if (p.y < -p.w) code |= 1u << 2;
+            if (p.y > p.w) code |= 1u << 3;
+            if (p.z < -p.w) code |= 1u << 4;
+            if (p.z > p.w) code |= 1u << 5;
+            andCode &= code;
+        }
+        return andCode != 0;
+    }
+};
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_CLIPPER_EMULATOR_HH

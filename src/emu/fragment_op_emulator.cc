@@ -1,0 +1,227 @@
+#include "emu/fragment_op_emulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace attila::emu
+{
+
+u32
+quantizeDepth(f32 z)
+{
+    const f32 clamped = std::clamp(z, 0.0f, 1.0f);
+    return static_cast<u32>(
+        std::lround(static_cast<f64>(clamped) * maxDepthValue));
+}
+
+bool
+FragmentOpEmulator::compare(CompareFunc func, u32 ref, u32 stored)
+{
+    switch (func) {
+      case CompareFunc::Never: return false;
+      case CompareFunc::Less: return ref < stored;
+      case CompareFunc::Equal: return ref == stored;
+      case CompareFunc::LessEqual: return ref <= stored;
+      case CompareFunc::Greater: return ref > stored;
+      case CompareFunc::NotEqual: return ref != stored;
+      case CompareFunc::GreaterEqual: return ref >= stored;
+      case CompareFunc::Always: return true;
+    }
+    return false;
+}
+
+u8
+FragmentOpEmulator::stencilOperate(StencilOp op, u8 stored, u8 ref,
+                                   u8 writeMask)
+{
+    u8 value = stored;
+    switch (op) {
+      case StencilOp::Keep:
+        return stored;
+      case StencilOp::Zero:
+        value = 0;
+        break;
+      case StencilOp::Replace:
+        value = ref;
+        break;
+      case StencilOp::Incr:
+        value = stored == 0xff ? 0xff : static_cast<u8>(stored + 1);
+        break;
+      case StencilOp::Decr:
+        value = stored == 0 ? 0 : static_cast<u8>(stored - 1);
+        break;
+      case StencilOp::Invert:
+        value = static_cast<u8>(~stored);
+        break;
+      case StencilOp::IncrWrap:
+        value = static_cast<u8>(stored + 1);
+        break;
+      case StencilOp::DecrWrap:
+        value = static_cast<u8>(stored - 1);
+        break;
+    }
+    return static_cast<u8>((stored & ~writeMask) |
+                           (value & writeMask));
+}
+
+ZStencilResult
+FragmentOpEmulator::zStencilTest(const ZStencilState& state,
+                                 u32 fragDepth, u32 stored,
+                                 bool backFacing)
+{
+    ZStencilResult result;
+    const u32 storedDepth = depthOf(stored);
+    const u8 storedStencil = stencilOf(stored);
+
+    // Double-sided stencil: back-facing fragments use the back
+    // state set.
+    const bool useBack = state.twoSided && backFacing;
+    const CompareFunc func = useBack ? state.backFunc
+                                     : state.stencilFunc;
+    const u8 ref = useBack ? state.backRef : state.stencilRef;
+    const u8 compareMask =
+        useBack ? state.backCompareMask : state.stencilCompareMask;
+    const u8 writeMask =
+        useBack ? state.backWriteMask : state.stencilWriteMask;
+    const StencilOp failOp =
+        useBack ? state.backFail : state.stencilFail;
+    const StencilOp depthFailOp =
+        useBack ? state.backDepthFail : state.depthFail;
+    const StencilOp depthPassOp =
+        useBack ? state.backDepthPass : state.depthPass;
+
+    if (state.stencilTest) {
+        const u8 maskedRef = ref & compareMask;
+        const u8 maskedStored = storedStencil & compareMask;
+        if (!compare(func, maskedRef, maskedStored)) {
+            // Stencil fail: update stencil, cull fragment.
+            const u8 ns = stencilOperate(failOp, storedStencil, ref,
+                                         writeMask);
+            result.pass = false;
+            result.newZS = packDepthStencil(storedDepth, ns);
+            return result;
+        }
+    }
+
+    bool depthPass = true;
+    if (state.depthTest)
+        depthPass = compare(state.depthFunc, fragDepth, storedDepth);
+
+    u8 newStencil = storedStencil;
+    if (state.stencilTest) {
+        const StencilOp op = depthPass ? depthPassOp : depthFailOp;
+        newStencil = stencilOperate(op, storedStencil, ref,
+                                    writeMask);
+    }
+
+    u32 newDepth = storedDepth;
+    if (depthPass && state.depthTest && state.depthWrite)
+        newDepth = fragDepth;
+
+    result.pass = depthPass;
+    result.newZS = packDepthStencil(newDepth, newStencil);
+    return result;
+}
+
+Vec4
+FragmentOpEmulator::blendFactor(BlendFactor f, const Vec4& src,
+                                const Vec4& dst, const Vec4& constant)
+{
+    switch (f) {
+      case BlendFactor::Zero:
+        return Vec4(0.0f);
+      case BlendFactor::One:
+        return Vec4(1.0f);
+      case BlendFactor::SrcColor:
+        return src;
+      case BlendFactor::OneMinusSrcColor:
+        return Vec4(1.0f) - src;
+      case BlendFactor::DstColor:
+        return dst;
+      case BlendFactor::OneMinusDstColor:
+        return Vec4(1.0f) - dst;
+      case BlendFactor::SrcAlpha:
+        return Vec4(src.w);
+      case BlendFactor::OneMinusSrcAlpha:
+        return Vec4(1.0f - src.w);
+      case BlendFactor::DstAlpha:
+        return Vec4(dst.w);
+      case BlendFactor::OneMinusDstAlpha:
+        return Vec4(1.0f - dst.w);
+      case BlendFactor::ConstantColor:
+        return constant;
+      case BlendFactor::OneMinusConstantColor:
+        return Vec4(1.0f) - constant;
+      case BlendFactor::SrcAlphaSaturate: {
+        const f32 f2 = std::min(src.w, 1.0f - dst.w);
+        return {f2, f2, f2, 1.0f};
+      }
+    }
+    return Vec4(0.0f);
+}
+
+Vec4
+FragmentOpEmulator::blend(const BlendState& state, const Vec4& src,
+                          const Vec4& dst)
+{
+    const Vec4 sf = blendFactor(state.srcFactor, src, dst,
+                                state.constantColor);
+    const Vec4 df = blendFactor(state.dstFactor, src, dst,
+                                state.constantColor);
+    switch (state.equation) {
+      case BlendEquation::Add:
+        return src * sf + dst * df;
+      case BlendEquation::Subtract:
+        return src * sf - dst * df;
+      case BlendEquation::ReverseSubtract:
+        return dst * df - src * sf;
+      case BlendEquation::Min:
+        return vmin(src, dst);
+      case BlendEquation::Max:
+        return vmax(src, dst);
+    }
+    return src;
+}
+
+u32
+FragmentOpEmulator::packRgba8(const Vec4& c)
+{
+    const Vec4 s = saturate(c);
+    const u32 r = static_cast<u32>(std::lround(s.x * 255.0f));
+    const u32 g = static_cast<u32>(std::lround(s.y * 255.0f));
+    const u32 b = static_cast<u32>(std::lround(s.z * 255.0f));
+    const u32 a = static_cast<u32>(std::lround(s.w * 255.0f));
+    return r | (g << 8) | (b << 16) | (a << 24);
+}
+
+Vec4
+FragmentOpEmulator::unpackRgba8(u32 word)
+{
+    return {static_cast<f32>(word & 0xff) / 255.0f,
+            static_cast<f32>((word >> 8) & 0xff) / 255.0f,
+            static_cast<f32>((word >> 16) & 0xff) / 255.0f,
+            static_cast<f32>((word >> 24) & 0xff) / 255.0f};
+}
+
+u32
+FragmentOpEmulator::colorWrite(const BlendState& state,
+                               const Vec4& src, u32 storedRgba8)
+{
+    Vec4 color = src;
+    if (state.enabled)
+        color = blend(state, src, unpackRgba8(storedRgba8));
+    const u32 packed = packRgba8(color);
+    if (state.colorMask == 0xf)
+        return packed;
+    u32 out = storedRgba8;
+    for (u32 i = 0; i < 4; ++i) {
+        if (state.colorMask & (1u << i)) {
+            const u32 shift = i * 8;
+            out = (out & ~(0xffu << shift)) |
+                  (packed & (0xffu << shift));
+        }
+    }
+    return out;
+}
+
+} // namespace attila::emu

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * FragmentOpEmulator: the per-fragment test and framebuffer update
+ * functions (paper §3) — depth test, stencil test, blending and
+ * colour packing, exactly as the OpenGL API defines them.
+ *
+ * Used by the ROPz (ZStencilTest) and ROPc (ColorWrite) boxes and by
+ * the reference renderer.
+ */
+
+#ifndef ATTILA_EMU_FRAGMENT_OP_EMULATOR_HH
+#define ATTILA_EMU_FRAGMENT_OP_EMULATOR_HH
+
+#include "emu/vector.hh"
+#include "sim/types.hh"
+
+namespace attila::emu
+{
+
+/** OpenGL comparison functions (depth, stencil, alpha tests). */
+enum class CompareFunc : u8
+{
+    Never, Less, Equal, LessEqual, Greater, NotEqual, GreaterEqual,
+    Always,
+};
+
+/** OpenGL stencil update operations. */
+enum class StencilOp : u8
+{
+    Keep, Zero, Replace, Incr, Decr, Invert, IncrWrap, DecrWrap,
+};
+
+/** OpenGL blending factors. */
+enum class BlendFactor : u8
+{
+    Zero, One, SrcColor, OneMinusSrcColor, DstColor,
+    OneMinusDstColor, SrcAlpha, OneMinusSrcAlpha, DstAlpha,
+    OneMinusDstAlpha, ConstantColor, OneMinusConstantColor,
+    SrcAlphaSaturate,
+};
+
+/** OpenGL blending equations. */
+enum class BlendEquation : u8 { Add, Subtract, ReverseSubtract, Min,
+                                Max };
+
+/** Depth/stencil buffer element: 24-bit depth + 8-bit stencil. */
+constexpr u32 depthBits = 24;
+constexpr u32 maxDepthValue = (1u << depthBits) - 1;
+
+/** Pack depth (low 24 bits) and stencil (high 8 bits). */
+inline u32
+packDepthStencil(u32 depth, u8 stencil)
+{
+    return (static_cast<u32>(stencil) << depthBits) |
+           (depth & maxDepthValue);
+}
+
+inline u32
+depthOf(u32 zs)
+{
+    return zs & maxDepthValue;
+}
+
+inline u8
+stencilOf(u32 zs)
+{
+    return static_cast<u8>(zs >> depthBits);
+}
+
+/** Convert a [0,1] float depth to the 24-bit integer scale. */
+u32 quantizeDepth(f32 z);
+
+/** Depth/stencil state for one batch (from the GPU registers). */
+struct ZStencilState
+{
+    bool depthTest = false;
+    CompareFunc depthFunc = CompareFunc::Less;
+    bool depthWrite = true;
+
+    bool stencilTest = false;
+    CompareFunc stencilFunc = CompareFunc::Always;
+    u8 stencilRef = 0;
+    u8 stencilCompareMask = 0xff;
+    u8 stencilWriteMask = 0xff;
+    StencilOp stencilFail = StencilOp::Keep;
+    StencilOp depthFail = StencilOp::Keep;
+    StencilOp depthPass = StencilOp::Keep;
+
+    /**
+     * Double-sided stencil (a paper §7 extension): back-facing
+     * fragments use the separate state below, letting shadow
+     * volumes render in a single pass.
+     */
+    bool twoSided = false;
+    CompareFunc backFunc = CompareFunc::Always;
+    u8 backRef = 0;
+    u8 backCompareMask = 0xff;
+    u8 backWriteMask = 0xff;
+    StencilOp backFail = StencilOp::Keep;
+    StencilOp backDepthFail = StencilOp::Keep;
+    StencilOp backDepthPass = StencilOp::Keep;
+};
+
+/** Blending / colour write state for one batch. */
+struct BlendState
+{
+    bool enabled = false;
+    BlendEquation equation = BlendEquation::Add;
+    BlendFactor srcFactor = BlendFactor::One;
+    BlendFactor dstFactor = BlendFactor::Zero;
+    Vec4 constantColor;
+    u8 colorMask = 0xf; ///< Bit 0 red .. bit 3 alpha.
+};
+
+/** Result of the combined stencil + depth test on one fragment. */
+struct ZStencilResult
+{
+    bool pass = false; ///< Fragment survives to colour write.
+    u32 newZS = 0;     ///< Updated depth/stencil buffer word.
+};
+
+/**
+ * Per-fragment test and update emulation.  All methods are static:
+ * state travels with the call.
+ */
+class FragmentOpEmulator
+{
+  public:
+    /** Evaluate an OpenGL comparison. */
+    static bool compare(CompareFunc func, u32 ref, u32 stored);
+
+    /**
+     * Full OpenGL stencil + depth test for one fragment.
+     * @param state test configuration
+     * @param fragDepth quantized 24-bit fragment depth
+     * @param stored current depth/stencil buffer word
+     * @param backFacing selects the back-face stencil state when
+     *        two-sided stencil is enabled
+     */
+    static ZStencilResult zStencilTest(const ZStencilState& state,
+                                       u32 fragDepth, u32 stored,
+                                       bool backFacing = false);
+
+    /** Apply a stencil op to a stored stencil value. */
+    static u8 stencilOperate(StencilOp op, u8 stored, u8 ref,
+                             u8 writeMask);
+
+    /** Evaluate one blend factor. */
+    static Vec4 blendFactor(BlendFactor f, const Vec4& src,
+                            const Vec4& dst, const Vec4& constant);
+
+    /**
+     * Blend @p src over @p dst per @p state (colour mask applied by
+     * the caller via writeColor()).
+     */
+    static Vec4 blend(const BlendState& state, const Vec4& src,
+                      const Vec4& dst);
+
+    /**
+     * Final colour buffer update: blend when enabled, clamp, apply
+     * the colour mask against @p stored and return the packed RGBA8
+     * word.
+     */
+    static u32 colorWrite(const BlendState& state, const Vec4& src,
+                          u32 storedRgba8);
+
+    /** Pack a [0,1]-clamped colour as RGBA8 (r in byte 0). */
+    static u32 packRgba8(const Vec4& c);
+
+    /** Unpack an RGBA8 word. */
+    static Vec4 unpackRgba8(u32 word);
+};
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_FRAGMENT_OP_EMULATOR_HH

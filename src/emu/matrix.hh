@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Mat4: 4x4 float matrix used by the fixed-function vertex pipeline
+ * (modelview / projection stacks) and by workload scene setup.
+ */
+
+#ifndef ATTILA_EMU_MATRIX_HH
+#define ATTILA_EMU_MATRIX_HH
+
+#include <array>
+#include <cmath>
+
+#include "emu/vector.hh"
+
+namespace attila::emu
+{
+
+/** Row-major 4x4 float matrix. */
+struct Mat4
+{
+    // m[row][col]
+    std::array<std::array<f32, 4>, 4> m{};
+
+    /** Identity matrix. */
+    static Mat4
+    identity()
+    {
+        Mat4 r;
+        for (u32 i = 0; i < 4; ++i)
+            r.m[i][i] = 1.0f;
+        return r;
+    }
+
+    /** Translation matrix. */
+    static Mat4
+    translate(f32 x, f32 y, f32 z)
+    {
+        Mat4 r = identity();
+        r.m[0][3] = x;
+        r.m[1][3] = y;
+        r.m[2][3] = z;
+        return r;
+    }
+
+    /** Uniform / non-uniform scale matrix. */
+    static Mat4
+    scale(f32 x, f32 y, f32 z)
+    {
+        Mat4 r;
+        r.m[0][0] = x;
+        r.m[1][1] = y;
+        r.m[2][2] = z;
+        r.m[3][3] = 1.0f;
+        return r;
+    }
+
+    /** Rotation of @p radians around axis (x, y, z) (normalized). */
+    static Mat4
+    rotate(f32 radians, f32 x, f32 y, f32 z)
+    {
+        const f32 len = std::sqrt(x * x + y * y + z * z);
+        if (len > 0.0f) {
+            x /= len;
+            y /= len;
+            z /= len;
+        }
+        const f32 c = std::cos(radians);
+        const f32 s = std::sin(radians);
+        const f32 t = 1.0f - c;
+        Mat4 r = identity();
+        r.m[0][0] = t * x * x + c;
+        r.m[0][1] = t * x * y - s * z;
+        r.m[0][2] = t * x * z + s * y;
+        r.m[1][0] = t * x * y + s * z;
+        r.m[1][1] = t * y * y + c;
+        r.m[1][2] = t * y * z - s * x;
+        r.m[2][0] = t * x * z - s * y;
+        r.m[2][1] = t * y * z + s * x;
+        r.m[2][2] = t * z * z + c;
+        return r;
+    }
+
+    /** OpenGL-style perspective frustum projection. */
+    static Mat4
+    frustum(f32 l, f32 r, f32 b, f32 t, f32 n, f32 f)
+    {
+        Mat4 out;
+        out.m[0][0] = 2.0f * n / (r - l);
+        out.m[0][2] = (r + l) / (r - l);
+        out.m[1][1] = 2.0f * n / (t - b);
+        out.m[1][2] = (t + b) / (t - b);
+        out.m[2][2] = -(f + n) / (f - n);
+        out.m[2][3] = -2.0f * f * n / (f - n);
+        out.m[3][2] = -1.0f;
+        return out;
+    }
+
+    /** gluPerspective-style projection. */
+    static Mat4
+    perspective(f32 fovy_radians, f32 aspect, f32 n, f32 f)
+    {
+        const f32 t = n * std::tan(fovy_radians / 2.0f);
+        const f32 r = t * aspect;
+        return frustum(-r, r, -t, t, n, f);
+    }
+
+    /** glOrtho-style projection. */
+    static Mat4
+    ortho(f32 l, f32 r, f32 b, f32 t, f32 n, f32 f)
+    {
+        Mat4 out = identity();
+        out.m[0][0] = 2.0f / (r - l);
+        out.m[0][3] = -(r + l) / (r - l);
+        out.m[1][1] = 2.0f / (t - b);
+        out.m[1][3] = -(t + b) / (t - b);
+        out.m[2][2] = -2.0f / (f - n);
+        out.m[2][3] = -(f + n) / (f - n);
+        return out;
+    }
+
+    /** gluLookAt-style view matrix. */
+    static Mat4
+    lookAt(const Vec4& eye, const Vec4& center, const Vec4& up)
+    {
+        Vec4 fwd = center - eye;
+        const f32 fl = std::sqrt(dot3(fwd, fwd));
+        fwd = fwd * (fl > 0.0f ? 1.0f / fl : 0.0f);
+        Vec4 side = cross3(fwd, up);
+        const f32 sl = std::sqrt(dot3(side, side));
+        side = side * (sl > 0.0f ? 1.0f / sl : 0.0f);
+        const Vec4 u = cross3(side, fwd);
+        Mat4 r = identity();
+        r.m[0][0] = side.x; r.m[0][1] = side.y; r.m[0][2] = side.z;
+        r.m[1][0] = u.x;    r.m[1][1] = u.y;    r.m[1][2] = u.z;
+        r.m[2][0] = -fwd.x; r.m[2][1] = -fwd.y; r.m[2][2] = -fwd.z;
+        return r * translate(-eye.x, -eye.y, -eye.z);
+    }
+
+    Mat4
+    operator*(const Mat4& o) const
+    {
+        Mat4 r;
+        for (u32 i = 0; i < 4; ++i) {
+            for (u32 j = 0; j < 4; ++j) {
+                f32 acc = 0.0f;
+                for (u32 k = 0; k < 4; ++k)
+                    acc += m[i][k] * o.m[k][j];
+                r.m[i][j] = acc;
+            }
+        }
+        return r;
+    }
+
+    Vec4
+    operator*(const Vec4& v) const
+    {
+        Vec4 r;
+        for (u32 i = 0; i < 4; ++i) {
+            r[i] = m[i][0] * v.x + m[i][1] * v.y + m[i][2] * v.z +
+                   m[i][3] * v.w;
+        }
+        return r;
+    }
+
+    /** Row @p i as a Vec4 (handy for DP4-based transforms). */
+    Vec4
+    row(u32 i) const
+    {
+        return {m[i][0], m[i][1], m[i][2], m[i][3]};
+    }
+
+    /** Transposed copy. */
+    Mat4
+    transposed() const
+    {
+        Mat4 r;
+        for (u32 i = 0; i < 4; ++i)
+            for (u32 j = 0; j < 4; ++j)
+                r.m[i][j] = m[j][i];
+        return r;
+    }
+};
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_MATRIX_HH

@@ -1,0 +1,260 @@
+#include "emu/rasterizer_emulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace attila::emu
+{
+
+namespace
+{
+
+struct Hom
+{
+    f64 x, y, w;
+};
+
+Hom
+crossH(const Hom& p, const Hom& q)
+{
+    return {p.y * q.w - p.w * q.y, p.w * q.x - p.x * q.w,
+            p.x * q.y - p.y * q.x};
+}
+
+/** Top-left style fill rule for fragments exactly on an edge. */
+bool
+edgeAccepts(f64 a, f64 b)
+{
+    return a > 0.0 || (a == 0.0 && b > 0.0);
+}
+
+} // anonymous namespace
+
+TriangleSetup
+RasterizerEmulator::setup(const Vec4& v0, const Vec4& v1,
+                          const Vec4& v2, const Viewport& vp,
+                          bool cullCcw, bool cullCw)
+{
+    TriangleSetup tri;
+
+    // Viewport transform applied in homogeneous coordinates: maps
+    // NDC x in [-1, 1] to window pixels without dividing by w.
+    const f64 sx = vp.width * 0.5;
+    const f64 sy = vp.height * 0.5;
+    const f64 tx = vp.x + sx;
+    const f64 ty = vp.y + sy;
+
+    const Vec4* vs[3] = {&v0, &v1, &v2};
+    Hom h[3];
+    for (u32 i = 0; i < 3; ++i) {
+        const f64 w = vs[i]->w;
+        h[i].x = vs[i]->x * sx + w * tx;
+        h[i].y = vs[i]->y * sy + w * ty;
+        h[i].w = w;
+    }
+
+    // Edge equations = rows of the adjoint of the vertex matrix.
+    Hom e[3];
+    e[0] = crossH(h[1], h[2]);
+    e[1] = crossH(h[2], h[0]);
+    e[2] = crossH(h[0], h[1]);
+
+    f64 det = e[0].x * h[0].x + e[0].y * h[0].y + e[0].w * h[0].w;
+    tri.ccw = det > 0.0;
+
+    if (det == 0.0)
+        return tri; // Degenerate.
+    if ((tri.ccw && cullCcw) || (!tri.ccw && cullCw))
+        return tri; // Face-culled.
+
+    if (det < 0.0) {
+        // Normalize the orientation so that inside means e_i >= 0.
+        for (u32 i = 0; i < 3; ++i) {
+            e[i].x = -e[i].x;
+            e[i].y = -e[i].y;
+            e[i].w = -e[i].w;
+        }
+        det = -det;
+    }
+
+    for (u32 i = 0; i < 3; ++i) {
+        tri.a[i] = e[i].x;
+        tri.b[i] = e[i].y;
+        tri.c[i] = e[i].w;
+    }
+    tri.det = det;
+
+    // Depth equation: z_window = sum_i e_i * (0.5 z_i + 0.5 w_i) /
+    // det.  Note that 0.5 z + 0.5 w avoids dividing by w entirely.
+    f64 za = 0.0, zb = 0.0, zc = 0.0;
+    for (u32 i = 0; i < 3; ++i) {
+        const f64 zi = 0.5 * vs[i]->z + 0.5 * vs[i]->w;
+        za += e[i].x * zi;
+        zb += e[i].y * zi;
+        zc += e[i].w * zi;
+    }
+    tri.za = za / det;
+    tri.zb = zb / det;
+    tri.zc = zc / det;
+
+    // Traversal bounding box: projected vertices when every w is
+    // positive, the whole viewport otherwise (the homogeneous
+    // equations stay valid and the tile tests prune quickly).
+    const s32 vpMinX = vp.x;
+    const s32 vpMinY = vp.y;
+    const s32 vpMaxX = vp.x + static_cast<s32>(vp.width) - 1;
+    const s32 vpMaxY = vp.y + static_cast<s32>(vp.height) - 1;
+
+    bool allPositiveW = true;
+    for (u32 i = 0; i < 3; ++i)
+        allPositiveW &= vs[i]->w > 0.0f;
+
+    if (allPositiveW) {
+        f64 minX = 1e300, minY = 1e300;
+        f64 maxX = -1e300, maxY = -1e300;
+        for (u32 i = 0; i < 3; ++i) {
+            const f64 px = h[i].x / h[i].w;
+            const f64 py = h[i].y / h[i].w;
+            minX = std::min(minX, px);
+            minY = std::min(minY, py);
+            maxX = std::max(maxX, px);
+            maxY = std::max(maxY, py);
+        }
+        tri.minX = std::max(vpMinX,
+                            static_cast<s32>(std::floor(minX)));
+        tri.minY = std::max(vpMinY,
+                            static_cast<s32>(std::floor(minY)));
+        tri.maxX = std::min(vpMaxX,
+                            static_cast<s32>(std::ceil(maxX)));
+        tri.maxY = std::min(vpMaxY,
+                            static_cast<s32>(std::ceil(maxY)));
+    } else {
+        tri.minX = vpMinX;
+        tri.minY = vpMinY;
+        tri.maxX = vpMaxX;
+        tri.maxY = vpMaxY;
+    }
+
+    tri.valid = tri.minX <= tri.maxX && tri.minY <= tri.maxY;
+    return tri;
+}
+
+FragmentSample
+RasterizerEmulator::evalFragment(const TriangleSetup& tri, s32 x,
+                                 s32 y)
+{
+    FragmentSample frag;
+    const f64 px = x + 0.5;
+    const f64 py = y + 0.5;
+
+    bool inside = true;
+    for (u32 i = 0; i < 3; ++i) {
+        const f64 e = tri.a[i] * px + tri.b[i] * py + tri.c[i];
+        frag.edge[i] = e;
+        if (e < 0.0 ||
+            (e == 0.0 && !edgeAccepts(tri.a[i], tri.b[i]))) {
+            inside = false;
+        }
+    }
+    frag.inside = inside;
+    frag.z = static_cast<f32>(tri.za * px + tri.zb * py + tri.zc);
+    return frag;
+}
+
+bool
+RasterizerEmulator::tileOverlap(const TriangleSetup& tri, s32 tileX,
+                                s32 tileY, u32 size)
+{
+    // Reject tiles fully outside the bounding box.
+    const s32 x1 = tileX + static_cast<s32>(size) - 1;
+    const s32 y1 = tileY + static_cast<s32>(size) - 1;
+    if (x1 < tri.minX || tileX > tri.maxX || y1 < tri.minY ||
+        tileY > tri.maxY) {
+        return false;
+    }
+
+    // An edge with all four tile corners (at pixel centers) strictly
+    // negative separates the tile from the triangle.
+    const f64 x0c = tileX + 0.5;
+    const f64 y0c = tileY + 0.5;
+    const f64 x1c = x1 + 0.5;
+    const f64 y1c = y1 + 0.5;
+    for (u32 i = 0; i < 3; ++i) {
+        const f64 a = tri.a[i];
+        const f64 b = tri.b[i];
+        const f64 c = tri.c[i];
+        // Max of the edge equation over the tile corners.
+        const f64 xa = a >= 0.0 ? x1c : x0c;
+        const f64 yb = b >= 0.0 ? y1c : y0c;
+        if (a * xa + b * yb + c < 0.0)
+            return false;
+    }
+    return true;
+}
+
+void
+RasterizerEmulator::traverseRecursive(const TriangleSetup& tri,
+                                      u32 size,
+                                      const TileVisitor& visit)
+{
+    if (!tri.valid)
+        return;
+
+    // Align the root region to the tile grid and expand to a square
+    // power-of-two multiple of the tile size.
+    const s32 startX = tri.minX - (tri.minX % static_cast<s32>(size) +
+                                   static_cast<s32>(size)) %
+                                      static_cast<s32>(size);
+    const s32 startY = tri.minY - (tri.minY % static_cast<s32>(size) +
+                                   static_cast<s32>(size)) %
+                                      static_cast<s32>(size);
+    const u32 extentX = static_cast<u32>(tri.maxX - startX + 1);
+    const u32 extentY = static_cast<u32>(tri.maxY - startY + 1);
+    u32 rootSize = size;
+    while (rootSize < extentX || rootSize < extentY)
+        rootSize *= 2;
+
+    // Recursive descent: subdivide quadrants, pruning with the
+    // conservative edge test (McCool et al.).
+    const std::function<void(s32, s32, u32)> descend =
+        [&](s32 x, s32 y, u32 regionSize) {
+            if (x > tri.maxX || y > tri.maxY ||
+                x + static_cast<s32>(regionSize) <= tri.minX ||
+                y + static_cast<s32>(regionSize) <= tri.minY) {
+                return;
+            }
+            if (!tileOverlap(tri, x, y, regionSize))
+                return;
+            if (regionSize == size) {
+                visit(x, y);
+                return;
+            }
+            const u32 half = regionSize / 2;
+            const s32 h = static_cast<s32>(half);
+            descend(x, y, half);
+            descend(x + h, y, half);
+            descend(x, y + h, half);
+            descend(x + h, y + h, half);
+        };
+    descend(startX, startY, rootSize);
+}
+
+void
+RasterizerEmulator::traverseScanline(const TriangleSetup& tri,
+                                     u32 size,
+                                     const TileVisitor& visit)
+{
+    if (!tri.valid)
+        return;
+    const s32 s = static_cast<s32>(size);
+    const s32 startX = tri.minX - (tri.minX % s + s) % s;
+    const s32 startY = tri.minY - (tri.minY % s + s) % s;
+    for (s32 y = startY; y <= tri.maxY; y += s) {
+        for (s32 x = startX; x <= tri.maxX; x += s) {
+            if (tileOverlap(tri, x, y, size))
+                visit(x, y);
+        }
+    }
+}
+
+} // namespace attila::emu

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * RasterizerEmulator: triangle setup and traversal based on the 2D
+ * homogeneous rasterization algorithm of Olano and Greer (paper
+ * §2.2).
+ *
+ * Setup builds the three half-plane edge equations and the depth
+ * (z/w) interpolation equation directly from the homogeneous vertex
+ * matrix — no clipping required, because the equations stay valid
+ * for triangles crossing (or behind) the w = 0 plane.  Vertex
+ * positions are divided by w (when w > 0 for all vertices) only to
+ * bound the traversal, as in the paper.
+ *
+ * Two traversal strategies are provided, matching the two fragment
+ * generators ATTILA implements: recursive descent (McCool et al.,
+ * the default) and a tile scanline (Neon-style).
+ */
+
+#ifndef ATTILA_EMU_RASTERIZER_EMULATOR_HH
+#define ATTILA_EMU_RASTERIZER_EMULATOR_HH
+
+#include <array>
+#include <functional>
+
+#include "emu/vector.hh"
+
+namespace attila::emu
+{
+
+/** Viewport state: window rectangle for NDC mapping. */
+struct Viewport
+{
+    s32 x = 0;
+    s32 y = 0;
+    u32 width = 0;
+    u32 height = 0;
+};
+
+/** Per-triangle setup output: edge and depth equations. */
+struct TriangleSetup
+{
+    /** Edge equations: e_i(x, y) = a[i]x + b[i]y + c[i], inside when
+     * all three are >= 0 (after orientation normalization). */
+    std::array<f64, 3> a{};
+    std::array<f64, 3> b{};
+    std::array<f64, 3> c{};
+
+    /** Depth equation: z(x, y) = za*x + zb*y + zc, window z in
+     * [0, 1]. */
+    f64 za = 0.0, zb = 0.0, zc = 0.0;
+
+    /** Signed determinant of the homogeneous vertex matrix before
+     * normalization; sign gives the winding (> 0 = CCW). */
+    f64 det = 0.0;
+
+    /** False when the triangle is degenerate (det == 0). */
+    bool valid = false;
+
+    /** True when the unnormalized determinant was positive (CCW). */
+    bool ccw = true;
+
+    /** Traversal bounding box in pixels, inclusive. */
+    s32 minX = 0, minY = 0, maxX = -1, maxY = -1;
+};
+
+/** Coverage result for one fragment. */
+struct FragmentSample
+{
+    bool inside = false;
+    /** Edge equation values at the pixel center (barycentric up to a
+     * common scale); used for attribute interpolation. */
+    std::array<f64, 3> edge{};
+    /** Window-space depth in [0, 1]. */
+    f32 z = 0.0f;
+};
+
+/** Callback receiving the origin of each candidate tile. */
+using TileVisitor = std::function<void(s32 tileX, s32 tileY)>;
+
+class RasterizerEmulator
+{
+  public:
+    /**
+     * Triangle setup from clip-space positions.
+     *
+     * @param cullCcw / @param cullCw face culling: a triangle whose
+     * winding matches a set flag yields setup.valid == false.
+     */
+    static TriangleSetup setup(const Vec4& v0, const Vec4& v1,
+                               const Vec4& v2, const Viewport& vp,
+                               bool cullCcw = false,
+                               bool cullCw = false);
+
+    /** Evaluate coverage and depth for the pixel (x, y). */
+    static FragmentSample evalFragment(const TriangleSetup& tri,
+                                       s32 x, s32 y);
+
+    /**
+     * Conservative overlap test between the triangle and the
+     * size x size pixel tile at (tileX, tileY).
+     */
+    static bool tileOverlap(const TriangleSetup& tri, s32 tileX,
+                            s32 tileY, u32 size);
+
+    /**
+     * Visit every size x size tile (aligned to size) that may
+     * intersect the triangle using recursive descent from the
+     * bounding box (the default ATTILA fragment generator).
+     */
+    static void traverseRecursive(const TriangleSetup& tri, u32 size,
+                                  const TileVisitor& visit);
+
+    /** Same visit set, but scanning tiles row by row (Neon-style). */
+    static void traverseScanline(const TriangleSetup& tri, u32 size,
+                                 const TileVisitor& visit);
+
+    /**
+     * Perspective-correct interpolation of a vertex attribute from
+     * the edge values of a covered fragment:
+     * u = (e0*u0 + e1*u1 + e2*u2) / (e0 + e1 + e2).
+     */
+    static Vec4
+    interpolate(const std::array<f64, 3>& edge, const Vec4& u0,
+                const Vec4& u1, const Vec4& u2)
+    {
+        const f64 sum = edge[0] + edge[1] + edge[2];
+        const f64 inv = sum != 0.0 ? 1.0 / sum : 0.0;
+        Vec4 out;
+        for (u32 i = 0; i < 4; ++i) {
+            out[i] = static_cast<f32>(
+                (edge[0] * u0[i] + edge[1] * u1[i] +
+                 edge[2] * u2[i]) * inv);
+        }
+        return out;
+    }
+
+    /** 1/w at a covered fragment (for fragment.position.w). */
+    static f32
+    oneOverW(const TriangleSetup& tri,
+             const std::array<f64, 3>& edge)
+    {
+        return static_cast<f32>((edge[0] + edge[1] + edge[2]) /
+                                tri.det);
+    }
+};
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_RASTERIZER_EMULATOR_HH

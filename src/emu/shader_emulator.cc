@@ -1,0 +1,285 @@
+#include "emu/shader_emulator.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace attila::emu
+{
+
+namespace
+{
+
+/** Fetch a source operand value. */
+Vec4
+readSrc(const SrcOperand& src, const ShaderThreadState& state,
+        const ConstantBank& constants)
+{
+    Vec4 v;
+    switch (src.bank) {
+      case Bank::Attrib:
+        v = state.in[src.index];
+        break;
+      case Bank::Temp:
+        v = state.temp[src.index];
+        break;
+      case Bank::Param:
+        v = constants[src.index];
+        break;
+      default:
+        panic("shader emulator: read from invalid bank");
+    }
+    return src.apply(v);
+}
+
+/** Write @p value into the destination honoring mask and saturate. */
+void
+writeDst(const Instruction& ins, ShaderThreadState& state,
+         const Vec4& value)
+{
+    Vec4 v = ins.saturate ? saturate(value) : value;
+    Vec4* target = nullptr;
+    switch (ins.dst.bank) {
+      case Bank::Temp:
+        target = &state.temp[ins.dst.index];
+        break;
+      case Bank::Output:
+        target = &state.out[ins.dst.index];
+        break;
+      default:
+        panic("shader emulator: write to invalid bank");
+    }
+    for (u32 i = 0; i < 4; ++i) {
+        if (ins.dst.writeMask & (1u << i))
+            (*target)[i] = v[i];
+    }
+}
+
+/** Broadcast a scalar result to all components. */
+Vec4
+smear(f32 s)
+{
+    return {s, s, s, s};
+}
+
+/** ARB LIT: lighting coefficients. */
+Vec4
+litOp(const Vec4& s)
+{
+    const f32 diffuse = std::max(s.x, 0.0f);
+    f32 specular = 0.0f;
+    if (s.x > 0.0f) {
+        const f32 e = std::clamp(s.w, -128.0f, 128.0f);
+        specular = std::pow(std::max(s.y, 0.0f), e);
+    }
+    return {1.0f, diffuse, specular, 1.0f};
+}
+
+} // anonymous namespace
+
+StepResult
+ShaderEmulator::step(const ShaderProgram& program,
+                     const ConstantBank& constants,
+                     ShaderThreadState& state,
+                     const ImmediateSampler* sampler) const
+{
+    if (state.pc >= program.code.size())
+        panic("shader emulator: pc ", state.pc,
+              " past the end of a program of length ",
+              program.code.size());
+
+    const Instruction& ins = program.code[state.pc];
+    const OpcodeInfo& info = opcodeInfo(ins.op);
+
+    StepResult result;
+    result.latency = info.latency;
+
+    if (ins.op == Opcode::END) {
+        result.outcome = StepOutcome::Done;
+        return result;
+    }
+
+    if (info.isTexture) {
+        const Vec4 coord = readSrc(ins.src[0], state, constants);
+        const bool projected = ins.op == Opcode::TXP;
+        const f32 bias = ins.op == Opcode::TXB ? coord.w : 0.0f;
+        if (!sampler) {
+            result.outcome = StepOutcome::TexRequest;
+            result.texUnit = ins.texUnit;
+            result.texTarget = ins.texTarget;
+            result.texCoord = coord;
+            result.texLodBias = bias;
+            result.texProjected = projected;
+            return result;
+        }
+        const Vec4 texel = (*sampler)(ins.texUnit, ins.texTarget,
+                                      coord, bias, projected);
+        writeDst(ins, state, texel);
+        ++state.pc;
+        result.outcome = StepOutcome::Continue;
+        return result;
+    }
+
+    Vec4 a, b, c;
+    if (info.numSrc >= 1)
+        a = readSrc(ins.src[0], state, constants);
+    if (info.numSrc >= 2)
+        b = readSrc(ins.src[1], state, constants);
+    if (info.numSrc >= 3)
+        c = readSrc(ins.src[2], state, constants);
+
+    Vec4 r;
+    switch (ins.op) {
+      case Opcode::ABS:
+        r = {std::fabs(a.x), std::fabs(a.y), std::fabs(a.z),
+             std::fabs(a.w)};
+        break;
+      case Opcode::ADD:
+        r = a + b;
+        break;
+      case Opcode::CMP:
+        r = {a.x < 0.0f ? b.x : c.x, a.y < 0.0f ? b.y : c.y,
+             a.z < 0.0f ? b.z : c.z, a.w < 0.0f ? b.w : c.w};
+        break;
+      case Opcode::COS:
+        r = smear(std::cos(a.x));
+        break;
+      case Opcode::DP3:
+        r = smear(dot3(a, b));
+        break;
+      case Opcode::DP4:
+        r = smear(dot4(a, b));
+        break;
+      case Opcode::DPH:
+        r = smear(dot3(a, b) + b.w);
+        break;
+      case Opcode::EX2:
+        r = smear(std::exp2(a.x));
+        break;
+      case Opcode::FLR:
+        r = {std::floor(a.x), std::floor(a.y), std::floor(a.z),
+             std::floor(a.w)};
+        break;
+      case Opcode::FRC:
+        r = {a.x - std::floor(a.x), a.y - std::floor(a.y),
+             a.z - std::floor(a.z), a.w - std::floor(a.w)};
+        break;
+      case Opcode::KIL:
+        if (a.x < 0.0f || a.y < 0.0f || a.z < 0.0f || a.w < 0.0f) {
+            state.killed = true;
+            result.outcome = StepOutcome::Done;
+            return result;
+        }
+        ++state.pc;
+        result.outcome = StepOutcome::Continue;
+        return result;
+      case Opcode::LG2:
+        r = smear(std::log2(a.x));
+        break;
+      case Opcode::LIT:
+        r = litOp(a);
+        break;
+      case Opcode::LRP:
+        r = a * b + (Vec4(1.0f) - a) * c;
+        break;
+      case Opcode::MAD:
+        r = a * b + c;
+        break;
+      case Opcode::MAX:
+        r = vmax(a, b);
+        break;
+      case Opcode::MIN:
+        r = vmin(a, b);
+        break;
+      case Opcode::MOV:
+        r = a;
+        break;
+      case Opcode::MUL:
+        r = a * b;
+        break;
+      case Opcode::POW:
+        r = smear(std::pow(a.x, b.x));
+        break;
+      case Opcode::RCP:
+        r = smear(a.x == 0.0f
+                      ? std::numeric_limits<f32>::infinity()
+                      : 1.0f / a.x);
+        break;
+      case Opcode::RSQ:
+        r = smear(1.0f / std::sqrt(std::fabs(a.x)));
+        break;
+      case Opcode::SGE:
+        r = {a.x >= b.x ? 1.0f : 0.0f, a.y >= b.y ? 1.0f : 0.0f,
+             a.z >= b.z ? 1.0f : 0.0f, a.w >= b.w ? 1.0f : 0.0f};
+        break;
+      case Opcode::SIN:
+        r = smear(std::sin(a.x));
+        break;
+      case Opcode::SLT:
+        r = {a.x < b.x ? 1.0f : 0.0f, a.y < b.y ? 1.0f : 0.0f,
+             a.z < b.z ? 1.0f : 0.0f, a.w < b.w ? 1.0f : 0.0f};
+        break;
+      case Opcode::SUB:
+        r = a - b;
+        break;
+      case Opcode::XPD:
+        r = cross3(a, b);
+        break;
+      default:
+        panic("shader emulator: unhandled opcode");
+    }
+
+    writeDst(ins, state, r);
+    ++state.pc;
+    result.outcome = StepOutcome::Continue;
+    return result;
+}
+
+void
+ShaderEmulator::completeTexture(const ShaderProgram& program,
+                                ShaderThreadState& state,
+                                const Vec4& texel) const
+{
+    const Instruction& ins = program.code[state.pc];
+    if (!opcodeInfo(ins.op).isTexture)
+        panic("shader emulator: completeTexture at a non-texture"
+              " instruction");
+    writeDst(ins, state, texel);
+    ++state.pc;
+}
+
+bool
+ShaderEmulator::run(const ShaderProgram& program,
+                    const ConstantBank& constants,
+                    ShaderThreadState& state,
+                    const ImmediateSampler* sampler) const
+{
+    for (u32 guard = 0; guard < 65536; ++guard) {
+        const StepResult res = step(program, constants, state,
+                                    sampler);
+        if (res.outcome == StepOutcome::Done)
+            return !state.killed;
+        if (res.outcome == StepOutcome::TexRequest)
+            panic("shader emulator: run() needs an immediate sampler"
+                  " for texture instructions");
+    }
+    panic("shader emulator: program did not terminate");
+}
+
+ConstantBank
+ShaderEmulator::makeConstants(const ShaderProgram& program)
+{
+    ConstantBank bank{};
+    applyLiterals(program, bank);
+    return bank;
+}
+
+void
+ShaderEmulator::applyLiterals(const ShaderProgram& program,
+                              ConstantBank& bank)
+{
+    for (const auto& [slot, value] : program.literals)
+        bank[slot] = value;
+}
+
+} // namespace attila::emu

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * ShaderEmulator: the threaded interpreter that executes shader
+ * programs instruction by instruction over per-thread register state
+ * (paper §3).
+ *
+ * The emulator is pure functional code: it knows nothing about
+ * cycles.  The timing boxes (ShaderUnit) call step() to execute one
+ * instruction and learn its latency class; the reference renderer
+ * calls run() to execute a whole program.  Texture sampling is
+ * delegated through the TextureSampler interface so that the timing
+ * path can route requests through the Texture Unit while functional
+ * paths sample immediately.
+ */
+
+#ifndef ATTILA_EMU_SHADER_EMULATOR_HH
+#define ATTILA_EMU_SHADER_EMULATOR_HH
+
+#include <array>
+#include <functional>
+
+#include "emu/shader_isa.hh"
+#include "emu/vector.hh"
+
+namespace attila::emu
+{
+
+/** Per-thread (per shader input) register state. */
+struct ShaderThreadState
+{
+    std::array<Vec4, regix::numInputRegs> in{};
+    std::array<Vec4, regix::numOutputRegs> out{};
+    std::array<Vec4, regix::numTempRegs> temp{};
+    u32 pc = 0;
+    bool killed = false;
+
+    void
+    reset()
+    {
+        in.fill(Vec4());
+        out.fill(Vec4());
+        temp.fill(Vec4());
+        pc = 0;
+        killed = false;
+    }
+};
+
+/** Constant (Param) bank shared by all threads of a program. */
+using ConstantBank = std::array<Vec4, regix::numParamRegs>;
+
+/**
+ * Callback used to resolve TEX/TXB/TXP instructions immediately
+ * (functional paths).  Arguments: texture unit, target, coordinate
+ * (TXP already projected, TXB bias in coordinate.w per ARB).
+ */
+using ImmediateSampler =
+    std::function<Vec4(u32 unit, TexTarget target, const Vec4& coord,
+                       f32 lodBias, bool projected)>;
+
+/** Outcome of executing one instruction. */
+enum class StepOutcome : u8
+{
+    Continue,   ///< Instruction retired, more follow.
+    Done,       ///< END reached (or fragment killed).
+    TexRequest, ///< Texture access: the caller must service it.
+};
+
+/** Result of ShaderEmulator::step(). */
+struct StepResult
+{
+    StepOutcome outcome = StepOutcome::Continue;
+    u32 latency = 1;       ///< Execution latency class in cycles.
+    // Valid when outcome == TexRequest:
+    u32 texUnit = 0;
+    TexTarget texTarget = TexTarget::Tex2D;
+    Vec4 texCoord;         ///< Post-swizzle source coordinate.
+    f32 texLodBias = 0.0f; ///< TXB bias (coordinate.w).
+    bool texProjected = false; ///< TXP: divide coords by q.
+};
+
+/**
+ * Executes shader programs.  Stateless across threads: all mutable
+ * state lives in ShaderThreadState, so one emulator instance can
+ * serve any number of interleaved threads (as the multithreaded
+ * shader units do).
+ */
+class ShaderEmulator
+{
+  public:
+    /**
+     * Execute the instruction at @p state.pc of @p program.
+     *
+     * When the instruction is a texture access and @p sampler is
+     * null, the result has outcome TexRequest and the thread's pc is
+     * NOT advanced: the caller services the request and then calls
+     * completeTexture().  With a non-null @p sampler the access is
+     * resolved inline.
+     */
+    StepResult step(const ShaderProgram& program,
+                    const ConstantBank& constants,
+                    ShaderThreadState& state,
+                    const ImmediateSampler* sampler = nullptr) const;
+
+    /**
+     * Finish a pending texture access: write @p texel into the
+     * destination of the instruction at state.pc and advance.
+     */
+    void completeTexture(const ShaderProgram& program,
+                         ShaderThreadState& state,
+                         const Vec4& texel) const;
+
+    /**
+     * Run @p program to completion for @p state using @p sampler for
+     * texture accesses.  Returns false when the fragment was killed.
+     */
+    bool run(const ShaderProgram& program,
+             const ConstantBank& constants, ShaderThreadState& state,
+             const ImmediateSampler* sampler = nullptr) const;
+
+    /** Build a constant bank from a program's literals (other slots
+     * zero). */
+    static ConstantBank makeConstants(const ShaderProgram& program);
+
+    /** Merge @p program literals into an existing bank. */
+    static void applyLiterals(const ShaderProgram& program,
+                              ConstantBank& bank);
+};
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_SHADER_EMULATOR_HH

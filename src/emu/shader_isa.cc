@@ -1,0 +1,768 @@
+#include "emu/shader_isa.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace attila::emu
+{
+
+namespace
+{
+
+const OpcodeInfo opcodeTable[numOpcodes] = {
+    // name  numSrc hasDst scalar texture latency
+    {"ABS", 1, true, false, false, 1},
+    {"ADD", 2, true, false, false, 4},
+    {"CMP", 3, true, false, false, 4},
+    {"COS", 1, true, true, false, 9},
+    {"DP3", 2, true, false, false, 4},
+    {"DP4", 2, true, false, false, 4},
+    {"DPH", 2, true, false, false, 4},
+    {"EX2", 1, true, true, false, 6},
+    {"FLR", 1, true, false, false, 1},
+    {"FRC", 1, true, false, false, 1},
+    {"KIL", 1, false, false, false, 1},
+    {"LG2", 1, true, true, false, 6},
+    {"LIT", 1, true, false, false, 9},
+    {"LRP", 3, true, false, false, 4},
+    {"MAD", 3, true, false, false, 4},
+    {"MAX", 2, true, false, false, 2},
+    {"MIN", 2, true, false, false, 2},
+    {"MOV", 1, true, false, false, 1},
+    {"MUL", 2, true, false, false, 4},
+    {"POW", 2, true, true, false, 9},
+    {"RCP", 1, true, true, false, 6},
+    {"RSQ", 1, true, true, false, 6},
+    {"SGE", 2, true, false, false, 2},
+    {"SIN", 1, true, true, false, 9},
+    {"SLT", 2, true, false, false, 2},
+    {"SUB", 2, true, false, false, 4},
+    {"XPD", 2, true, false, false, 4},
+    {"TEX", 1, true, false, true, 1},
+    {"TXB", 1, true, false, true, 1},
+    {"TXP", 1, true, false, true, 1},
+    {"END", 0, false, false, false, 1},
+};
+
+} // anonymous namespace
+
+const OpcodeInfo&
+opcodeInfo(Opcode op)
+{
+    return opcodeTable[static_cast<u32>(op)];
+}
+
+namespace
+{
+
+/** Simple token stream over one statement. */
+class TokenStream
+{
+  public:
+    TokenStream(const std::string& text, u32 line)
+        : _text(text), _line(line)
+    {}
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return _pos >= _text.size();
+    }
+
+    /** Peek at the next character (0 at end). */
+    char
+    peek()
+    {
+        skipSpace();
+        return _pos < _text.size() ? _text[_pos] : '\0';
+    }
+
+    /** Consume one expected punctuation character. */
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (_pos >= _text.size() || _text[_pos] != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++_pos;
+    }
+
+    /** Consume @p c if present; returns whether it was. */
+    bool
+    accept(char c)
+    {
+        skipSpace();
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    /** Read an identifier ([A-Za-z_][A-Za-z0-9_]*). */
+    std::string
+    identifier()
+    {
+        skipSpace();
+        if (_pos >= _text.size() ||
+            (!std::isalpha(static_cast<unsigned char>(_text[_pos])) &&
+             _text[_pos] != '_')) {
+            fail("expected identifier");
+        }
+        std::size_t start = _pos;
+        while (_pos < _text.size() &&
+               (std::isalnum(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '_')) {
+            ++_pos;
+        }
+        return _text.substr(start, _pos - start);
+    }
+
+    /** Read an unsigned integer. */
+    u32
+    integer()
+    {
+        skipSpace();
+        if (_pos >= _text.size() ||
+            !std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            fail("expected integer");
+        }
+        u32 v = 0;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            v = v * 10 + static_cast<u32>(_text[_pos] - '0');
+            ++_pos;
+        }
+        return v;
+    }
+
+    /** Read a (possibly signed) float literal. */
+    f32
+    number()
+    {
+        skipSpace();
+        std::size_t consumed = 0;
+        f32 v = 0.0f;
+        try {
+            v = std::stof(_text.substr(_pos), &consumed);
+        } catch (const std::exception&) {
+            fail("expected number");
+        }
+        _pos += consumed;
+        return v;
+    }
+
+    [[noreturn]] void
+    fail(const std::string& msg)
+    {
+        fatal("shader assembler: line ", _line, ": ", msg, " in '",
+              _text, "'");
+    }
+
+    u32 line() const { return _line; }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    std::string _text;
+    u32 _line;
+    std::size_t _pos = 0;
+};
+
+/** Assembler working state for one program. */
+class Assembler
+{
+  public:
+    ShaderProgramPtr
+    run(const std::string& source)
+    {
+        _prog = std::make_shared<ShaderProgram>();
+        parseHeader(source);
+
+        for (auto& [text, line] : splitStatements(source)) {
+            TokenStream ts(text, line);
+            if (ts.atEnd())
+                continue;
+            parseStatement(ts);
+            if (_ended)
+                break;
+        }
+        if (!_ended)
+            fatal("shader assembler: missing END");
+        analyze();
+        return _prog;
+    }
+
+  private:
+    using RegRef = std::pair<Bank, u32>;
+
+    void
+    parseHeader(const std::string& source)
+    {
+        std::size_t pos = source.find("!!ARB");
+        if (pos == std::string::npos)
+            fatal("shader assembler: missing !!ARBvp1.0 / !!ARBfp1.0",
+                  " header");
+        const std::string hdr = source.substr(pos, 10);
+        if (hdr.rfind("!!ARBvp", 0) == 0) {
+            _prog->target = ShaderTarget::Vertex;
+        } else if (hdr.rfind("!!ARBfp", 0) == 0) {
+            _prog->target = ShaderTarget::Fragment;
+        } else {
+            fatal("shader assembler: unknown program header '", hdr,
+                  "'");
+        }
+        _headerEnd = source.find('\n', pos);
+        if (_headerEnd == std::string::npos)
+            _headerEnd = source.size();
+    }
+
+    /** Split into ';'-terminated statements with line numbers,
+     * skipping comments and the header. */
+    std::vector<std::pair<std::string, u32>>
+    splitStatements(const std::string& source)
+    {
+        std::vector<std::pair<std::string, u32>> out;
+        std::string cur;
+        u32 line = 1;
+        u32 start_line = 1;
+        bool in_comment = false;
+        for (std::size_t i = _headerEnd; i < source.size(); ++i) {
+            const char c = source[i];
+            if (c == '\n') {
+                ++line;
+                in_comment = false;
+                cur += ' ';
+                continue;
+            }
+            if (in_comment)
+                continue;
+            if (c == '#') {
+                in_comment = true;
+                continue;
+            }
+            if (c == ';') {
+                out.emplace_back(cur, start_line);
+                cur.clear();
+                start_line = line;
+                continue;
+            }
+            if (cur.empty() &&
+                std::isspace(static_cast<unsigned char>(c))) {
+                start_line = line;
+                continue;
+            }
+            cur += c;
+        }
+        if (!cur.empty())
+            out.emplace_back(cur, start_line);
+        return out;
+    }
+
+    void
+    parseStatement(TokenStream& ts)
+    {
+        const std::string kw = ts.identifier();
+        if (kw == "TEMP") {
+            do {
+                declare(ts, ts.identifier(), Bank::Temp,
+                        allocTemp(ts));
+            } while (ts.accept(','));
+        } else if (kw == "PARAM") {
+            const std::string name = ts.identifier();
+            ts.expect('=');
+            declare(ts, name, Bank::Param, parseParamInit(ts));
+        } else if (kw == "ATTRIB") {
+            const std::string name = ts.identifier();
+            ts.expect('=');
+            RegRef ref = parseRegRef(ts, /*allow_literal=*/false);
+            if (ref.first != Bank::Attrib)
+                ts.fail("ATTRIB must bind an input attribute");
+            declare(ts, name, ref.first, ref.second);
+        } else if (kw == "OUTPUT") {
+            const std::string name = ts.identifier();
+            ts.expect('=');
+            RegRef ref = parseRegRef(ts, false);
+            if (ref.first != Bank::Output)
+                ts.fail("OUTPUT must bind a result register");
+            declare(ts, name, ref.first, ref.second);
+        } else if (kw == "ALIAS") {
+            const std::string name = ts.identifier();
+            ts.expect('=');
+            RegRef ref = parseRegRef(ts, false);
+            declare(ts, name, ref.first, ref.second);
+        } else if (kw == "END") {
+            Instruction end;
+            end.op = Opcode::END;
+            _prog->code.push_back(end);
+            _ended = true;
+        } else {
+            parseInstruction(ts, kw);
+        }
+    }
+
+    u32
+    allocTemp(TokenStream& ts)
+    {
+        if (_nextTemp >= regix::numTempRegs)
+            ts.fail("too many TEMP registers");
+        return _nextTemp++;
+    }
+
+    void
+    declare(TokenStream& ts, const std::string& name, Bank bank,
+            u32 index)
+    {
+        if (_symbols.count(name))
+            ts.fail("redeclared symbol '" + name + "'");
+        _symbols[name] = {bank, index};
+    }
+
+    /** PARAM initializer: program.env/local[n], literal vector or
+     * scalar. */
+    u32
+    parseParamInit(TokenStream& ts)
+    {
+        if (ts.peek() == '{' || ts.peek() == '-' ||
+            std::isdigit(static_cast<unsigned char>(ts.peek())) ||
+            ts.peek() == '.') {
+            return allocLiteral(ts, parseLiteral(ts));
+        }
+        RegRef ref = parseRegRef(ts, false);
+        if (ref.first != Bank::Param)
+            ts.fail("PARAM must bind a constant");
+        return ref.second;
+    }
+
+    Vec4
+    parseLiteral(TokenStream& ts)
+    {
+        if (ts.accept('{')) {
+            Vec4 v(0, 0, 0, 1);
+            v.x = ts.number();
+            for (u32 i = 1; i < 4 && ts.accept(','); ++i)
+                v[i] = ts.number();
+            ts.expect('}');
+            return v;
+        }
+        const f32 s = ts.number();
+        return {s, s, s, s};
+    }
+
+    u32
+    allocLiteral(TokenStream& ts, const Vec4& v)
+    {
+        // Deduplicate identical literals.
+        for (const auto& [slot, val] : _prog->literals) {
+            if (val == v)
+                return slot;
+        }
+        const u32 slot =
+            regix::paramLiteralTop -
+            static_cast<u32>(_prog->literals.size());
+        if (slot < regix::paramLocalBase + 64)
+            ts.fail("too many literal constants");
+        _prog->literals.emplace_back(slot, v);
+        return slot;
+    }
+
+    /** Parse a register reference (no swizzle/mask). */
+    RegRef
+    parseRegRef(TokenStream& ts, bool allow_literal)
+    {
+        if (allow_literal &&
+            (ts.peek() == '{' ||
+             std::isdigit(static_cast<unsigned char>(ts.peek())))) {
+            // Use a throwaway TokenStream-independent path: literals
+            // in operand position become Param references.
+            return {Bank::Param, allocLiteral(ts, parseLiteral(ts))};
+        }
+
+        const std::string word = ts.identifier();
+        if (auto it = _symbols.find(word); it != _symbols.end())
+            return {it->second.first, it->second.second};
+
+        const bool isVertex = _prog->target == ShaderTarget::Vertex;
+
+        if (word == "vertex") {
+            if (!isVertex)
+                ts.fail("'vertex.*' in a fragment program");
+            ts.expect('.');
+            const std::string what = ts.identifier();
+            if (what == "attrib")
+                return {Bank::Attrib, bracketIndex(ts, 16)};
+            if (what == "position")
+                return {Bank::Attrib, regix::vinPosition};
+            if (what == "weight")
+                return {Bank::Attrib, regix::vinWeight};
+            if (what == "normal")
+                return {Bank::Attrib, regix::vinNormal};
+            if (what == "color")
+                return {Bank::Attrib, regix::vinColor};
+            if (what == "fogcoord")
+                return {Bank::Attrib, regix::vinFogCoord};
+            if (what == "texcoord") {
+                return {Bank::Attrib,
+                        regix::vinTexCoordBase +
+                            optionalBracketIndex(ts, 8)};
+            }
+            ts.fail("unknown vertex attribute '" + what + "'");
+        }
+
+        if (word == "fragment") {
+            if (isVertex)
+                ts.fail("'fragment.*' in a vertex program");
+            ts.expect('.');
+            const std::string what = ts.identifier();
+            if (what == "position")
+                return {Bank::Attrib, regix::finPosition};
+            if (what == "color")
+                return {Bank::Attrib, regix::ioColor};
+            if (what == "fogcoord")
+                return {Bank::Attrib, regix::ioFogCoord};
+            if (what == "texcoord") {
+                return {Bank::Attrib,
+                        regix::ioTexCoordBase +
+                            optionalBracketIndex(ts, 8)};
+            }
+            ts.fail("unknown fragment attribute '" + what + "'");
+        }
+
+        if (word == "result") {
+            ts.expect('.');
+            const std::string what = ts.identifier();
+            if (isVertex) {
+                if (what == "position")
+                    return {Bank::Output, regix::vposPosition};
+                if (what == "color")
+                    return {Bank::Output, regix::ioColor};
+                if (what == "fogcoord")
+                    return {Bank::Output, regix::ioFogCoord};
+                if (what == "texcoord") {
+                    return {Bank::Output,
+                            regix::ioTexCoordBase +
+                                optionalBracketIndex(ts, 8)};
+                }
+            } else {
+                if (what == "color")
+                    return {Bank::Output, regix::foutColor};
+                if (what == "depth")
+                    return {Bank::Output, regix::foutDepth};
+            }
+            ts.fail("unknown result register '" + what + "'");
+        }
+
+        if (word == "program") {
+            ts.expect('.');
+            const std::string what = ts.identifier();
+            if (what == "env")
+                return {Bank::Param, bracketIndex(ts, 128)};
+            if (what == "local") {
+                return {Bank::Param,
+                        regix::paramLocalBase + bracketIndex(ts, 64)};
+            }
+            ts.fail("unknown program parameter '" + what + "'");
+        }
+
+        ts.fail("unknown register '" + word + "'");
+    }
+
+    u32
+    bracketIndex(TokenStream& ts, u32 limit)
+    {
+        ts.expect('[');
+        const u32 i = ts.integer();
+        ts.expect(']');
+        if (i >= limit)
+            ts.fail("register index out of range");
+        return i;
+    }
+
+    u32
+    optionalBracketIndex(TokenStream& ts, u32 limit)
+    {
+        if (ts.peek() != '[')
+            return 0;
+        return bracketIndex(ts, limit);
+    }
+
+    static u32
+    componentIndex(TokenStream& ts, char c)
+    {
+        switch (c) {
+          case 'x': case 'r': return 0;
+          case 'y': case 'g': return 1;
+          case 'z': case 'b': return 2;
+          case 'w': case 'a': return 3;
+          default:
+            ts.fail(std::string("bad component '") + c + "'");
+        }
+    }
+
+    SrcOperand
+    parseSrc(TokenStream& ts)
+    {
+        SrcOperand src;
+        src.negate = ts.accept('-');
+        auto [bank, index] = parseRegRef(ts, /*allow_literal=*/true);
+        src.bank = bank;
+        src.index = static_cast<u8>(index);
+        if (src.bank == Bank::Output)
+            ts.fail("output registers are write-only");
+        if (ts.accept('.')) {
+            const std::string sw = ts.identifier();
+            if (sw.size() == 1) {
+                const u32 c = componentIndex(ts, sw[0]);
+                src.swizzle = {static_cast<u8>(c), static_cast<u8>(c),
+                               static_cast<u8>(c), static_cast<u8>(c)};
+            } else if (sw.size() == 4) {
+                for (u32 i = 0; i < 4; ++i) {
+                    src.swizzle[i] =
+                        static_cast<u8>(componentIndex(ts, sw[i]));
+                }
+            } else {
+                ts.fail("swizzle must have 1 or 4 components");
+            }
+        }
+        return src;
+    }
+
+    DstOperand
+    parseDst(TokenStream& ts)
+    {
+        DstOperand dst;
+        auto [bank, index] = parseRegRef(ts, false);
+        dst.bank = bank;
+        dst.index = static_cast<u8>(index);
+        if (dst.bank == Bank::Attrib || dst.bank == Bank::Param)
+            ts.fail("destination must be a temp or output register");
+        if (ts.accept('.')) {
+            const std::string mask = ts.identifier();
+            dst.writeMask = 0;
+            u32 prev = 0;
+            bool first = true;
+            for (char c : mask) {
+                const u32 comp = componentIndex(ts, c);
+                if (!first && comp <= prev)
+                    ts.fail("write mask must be in xyzw order");
+                dst.writeMask |= static_cast<u8>(1u << comp);
+                prev = comp;
+                first = false;
+            }
+        }
+        return dst;
+    }
+
+    void
+    parseInstruction(TokenStream& ts, std::string mnemonic)
+    {
+        Instruction ins;
+        if (mnemonic.size() > 4 &&
+            mnemonic.substr(mnemonic.size() - 4) == "_SAT") {
+            ins.saturate = true;
+            mnemonic = mnemonic.substr(0, mnemonic.size() - 4);
+        }
+
+        bool found = false;
+        for (u32 i = 0; i < numOpcodes; ++i) {
+            if (mnemonic == opcodeTable[i].name) {
+                ins.op = static_cast<Opcode>(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            ts.fail("unknown opcode '" + mnemonic + "'");
+
+        const OpcodeInfo& info = opcodeInfo(ins.op);
+        if (info.isTexture &&
+            _prog->target == ShaderTarget::Vertex) {
+            ts.fail("texture instructions are only available in"
+                    " fragment programs");
+        }
+        if (ins.op == Opcode::KIL &&
+            _prog->target == ShaderTarget::Vertex) {
+            ts.fail("KIL is only available in fragment programs");
+        }
+
+        if (info.hasDst) {
+            ins.dst = parseDst(ts);
+            ts.expect(',');
+        }
+        for (u32 i = 0; i < info.numSrc; ++i) {
+            if (i > 0)
+                ts.expect(',');
+            ins.src[i] = parseSrc(ts);
+        }
+        if (info.isTexture) {
+            ts.expect(',');
+            const std::string texkw = ts.identifier();
+            if (texkw != "texture")
+                ts.fail("expected 'texture[n]'");
+            ins.texUnit = static_cast<u8>(bracketIndex(ts, 16));
+            ts.expect(',');
+            // Target: 1D / 2D / 3D / CUBE.  1D/2D/3D start with a
+            // digit, so read raw characters.
+            if (ts.accept('1')) {
+                ts.identifier(); // D
+                ins.texTarget = TexTarget::Tex1D;
+            } else if (ts.accept('2')) {
+                ts.identifier();
+                ins.texTarget = TexTarget::Tex2D;
+            } else if (ts.accept('3')) {
+                ts.identifier();
+                ins.texTarget = TexTarget::Tex3D;
+            } else {
+                const std::string t = ts.identifier();
+                if (t != "CUBE")
+                    ts.fail("unknown texture target '" + t + "'");
+                ins.texTarget = TexTarget::Cube;
+            }
+        }
+        if (!ts.atEnd())
+            ts.fail("trailing junk after instruction");
+        _prog->code.push_back(ins);
+    }
+
+    /** Fill in the static analysis fields of the program. */
+    void
+    analyze()
+    {
+        analyzeProgram(*_prog);
+    }
+
+    std::shared_ptr<ShaderProgram> _prog;
+    std::map<std::string, RegRef> _symbols;
+    u32 _nextTemp = 0;
+    std::size_t _headerEnd = 0;
+    bool _ended = false;
+};
+
+const char* const swizzleChars = "xyzw";
+
+std::string
+srcToString(const SrcOperand& src)
+{
+    std::string s;
+    if (src.negate)
+        s += '-';
+    switch (src.bank) {
+      case Bank::Attrib: s += "attrib["; break;
+      case Bank::Param: s += "param["; break;
+      case Bank::Temp: s += "temp["; break;
+      default: s += "?["; break;
+    }
+    s += std::to_string(src.index) + "]";
+    const std::array<u8, 4> ident{0, 1, 2, 3};
+    if (src.swizzle != ident) {
+        s += '.';
+        for (u32 i = 0; i < 4; ++i)
+            s += swizzleChars[src.swizzle[i]];
+    }
+    return s;
+}
+
+std::string
+dstToString(const DstOperand& dst)
+{
+    std::string s = dst.bank == Bank::Temp ? "temp[" : "output[";
+    s += std::to_string(dst.index) + "]";
+    if (dst.writeMask != 0xf) {
+        s += '.';
+        for (u32 i = 0; i < 4; ++i) {
+            if (dst.writeMask & (1u << i))
+                s += swizzleChars[i];
+        }
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+ShaderProgramPtr
+ShaderAssembler::assemble(const std::string& source)
+{
+    Assembler assembler;
+    return assembler.run(source);
+}
+
+void
+analyzeProgram(ShaderProgram& program)
+{
+    program.numTemps = 0;
+    program.inputsRead = 0;
+    program.outputsWritten = 0;
+    program.texturesUsed = 0;
+    program.textureInstructions = 0;
+    for (const Instruction& ins : program.code) {
+        const OpcodeInfo& info = opcodeInfo(ins.op);
+        if (info.hasDst && ins.dst.bank == Bank::Temp) {
+            program.numTemps =
+                std::max(program.numTemps, u32(ins.dst.index) + 1);
+        }
+        if (info.hasDst && ins.dst.bank == Bank::Output)
+            program.outputsWritten |= 1u << ins.dst.index;
+        for (u32 i = 0; i < info.numSrc; ++i) {
+            const SrcOperand& src = ins.src[i];
+            if (src.bank == Bank::Attrib)
+                program.inputsRead |= 1u << src.index;
+            if (src.bank == Bank::Temp) {
+                program.numTemps =
+                    std::max(program.numTemps, u32(src.index) + 1);
+            }
+        }
+        if (info.isTexture) {
+            program.texturesUsed |= 1u << ins.texUnit;
+            ++program.textureInstructions;
+        }
+    }
+}
+
+std::string
+disassemble(const ShaderProgram& program)
+{
+    std::ostringstream os;
+    os << (program.target == ShaderTarget::Vertex ? "!!ARBvp1.0"
+                                                  : "!!ARBfp1.0")
+       << '\n';
+    for (const auto& [slot, val] : program.literals) {
+        os << "# param[" << slot << "] = {" << val.x << ", " << val.y
+           << ", " << val.z << ", " << val.w << "}\n";
+    }
+    for (const Instruction& ins : program.code) {
+        const OpcodeInfo& info = opcodeInfo(ins.op);
+        os << info.name;
+        if (ins.saturate)
+            os << "_SAT";
+        if (info.hasDst)
+            os << ' ' << dstToString(ins.dst);
+        for (u32 i = 0; i < info.numSrc; ++i)
+            os << (i == 0 && !info.hasDst ? " " : ", ")
+               << srcToString(ins.src[i]);
+        if (info.isTexture) {
+            os << ", texture[" << u32(ins.texUnit) << "], ";
+            switch (ins.texTarget) {
+              case TexTarget::Tex1D: os << "1D"; break;
+              case TexTarget::Tex2D: os << "2D"; break;
+              case TexTarget::Tex3D: os << "3D"; break;
+              case TexTarget::Cube: os << "CUBE"; break;
+            }
+        }
+        os << ";\n";
+    }
+    return os.str();
+}
+
+} // namespace attila::emu

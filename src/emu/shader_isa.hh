@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The ATTILA shader ISA, modelled on the ARB vertex/fragment program
+ * OpenGL extensions (paper §2.3).
+ *
+ * The shader works on 4-component 32-bit float registers organised in
+ * four banks: input attributes (read only), output attributes (write
+ * only), temporaries (read/write) and constants (read only).  SIMD
+ * and scalar instructions are supported, plus texture sampling (TEX /
+ * TXB / TXP) and fragment kill (KIL) for the fragment/unified
+ * targets.
+ *
+ * Programs are written in an ARB-assembly-style text syntax and
+ * assembled with ShaderAssembler; see tests/test_shader_isa.cc for
+ * examples.
+ */
+
+#ifndef ATTILA_EMU_SHADER_ISA_HH
+#define ATTILA_EMU_SHADER_ISA_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "emu/vector.hh"
+#include "sim/types.hh"
+
+namespace attila::emu
+{
+
+/** Shader program target. */
+enum class ShaderTarget : u8 { Vertex, Fragment };
+
+/** Register banks defined by the ARB-style ISA. */
+enum class Bank : u8
+{
+    Attrib,  ///< Read-only input attributes.
+    Output,  ///< Write-only output attributes.
+    Temp,    ///< Read/write temporaries.
+    Param,   ///< Read-only constants.
+    None,    ///< No register (e.g. KIL destination).
+};
+
+/** Instruction opcodes. */
+enum class Opcode : u8
+{
+    ABS, ADD, CMP, COS, DP3, DP4, DPH, EX2, FLR, FRC, KIL, LG2, LIT,
+    LRP, MAD, MAX, MIN, MOV, MUL, POW, RCP, RSQ, SGE, SIN, SLT, SUB,
+    XPD, TEX, TXB, TXP, END,
+};
+
+/** Number of opcodes (for tables indexed by Opcode). */
+constexpr u32 numOpcodes = static_cast<u32>(Opcode::END) + 1;
+
+/** Texture sampling targets. */
+enum class TexTarget : u8 { Tex1D, Tex2D, Tex3D, Cube };
+
+/** Static description of an opcode. */
+struct OpcodeInfo
+{
+    const char* name;
+    u8 numSrc;        ///< Source operand count.
+    bool hasDst;      ///< Writes a destination register.
+    bool isScalar;    ///< Operates on the .x of its sources.
+    bool isTexture;   ///< Accesses a texture unit.
+    u32 latency;      ///< Default execution latency in cycles (1-9).
+};
+
+/** Lookup the static info for @p op. */
+const OpcodeInfo& opcodeInfo(Opcode op);
+
+/** Source operand: bank, index, swizzle and negation. */
+struct SrcOperand
+{
+    Bank bank = Bank::Temp;
+    u8 index = 0;
+    /** Per-component source selection, each entry in 0..3. */
+    std::array<u8, 4> swizzle{0, 1, 2, 3};
+    bool negate = false;
+
+    /** Apply swizzle and negation to @p v. */
+    Vec4
+    apply(const Vec4& v) const
+    {
+        Vec4 r(v[swizzle[0]], v[swizzle[1]], v[swizzle[2]],
+               v[swizzle[3]]);
+        return negate ? -r : r;
+    }
+};
+
+/** Destination operand: bank, index and write mask. */
+struct DstOperand
+{
+    Bank bank = Bank::None;
+    u8 index = 0;
+    /** Bit i set selects component i (x=0 .. w=3). */
+    u8 writeMask = 0xf;
+};
+
+/** One decoded shader instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::END;
+    DstOperand dst;
+    std::array<SrcOperand, 3> src;
+    bool saturate = false;
+    u8 texUnit = 0;
+    TexTarget texTarget = TexTarget::Tex2D;
+};
+
+/**
+ * Standard attribute / output register index assignments (following
+ * the ARB extensions' conventions).
+ */
+namespace regix
+{
+
+// Vertex program input attributes.
+constexpr u8 vinPosition = 0;
+constexpr u8 vinWeight = 1;
+constexpr u8 vinNormal = 2;
+constexpr u8 vinColor = 3;
+constexpr u8 vinSecondaryColor = 4;
+constexpr u8 vinFogCoord = 5;
+constexpr u8 vinTexCoordBase = 8; // .. 15
+
+// Vertex program outputs / fragment program inputs (index-aligned so
+// the interpolator maps vertex output k to fragment input k).
+constexpr u8 vposPosition = 0;   // vertex result.position
+constexpr u8 ioColor = 1;        // color
+constexpr u8 ioSecondaryColor = 2;
+constexpr u8 ioFogCoord = 3;
+constexpr u8 ioTexCoordBase = 4; // .. 11
+
+// Fragment program inputs.
+constexpr u8 finPosition = 0; // window x, y, z, 1/w
+
+// Fragment program outputs.
+constexpr u8 foutColor = 0;
+constexpr u8 foutDepth = 1;
+
+constexpr u32 numInputRegs = 16;
+constexpr u32 numOutputRegs = 16;
+constexpr u32 numTempRegs = 32;
+constexpr u32 numParamRegs = 256;
+
+/** program.local[i] parameters start at this Param bank offset. */
+constexpr u32 paramLocalBase = 128;
+/** Inline literal constants are allocated downward from the top. */
+constexpr u32 paramLiteralTop = 255;
+
+} // namespace regix
+
+/**
+ * An assembled shader program: decoded instructions plus the
+ * constants baked by inline literals and static analysis results used
+ * by the driver and the shader units.
+ */
+struct ShaderProgram
+{
+    ShaderTarget target = ShaderTarget::Vertex;
+    std::vector<Instruction> code;
+
+    /** Inline literal constants: Param bank slot -> value. */
+    std::vector<std::pair<u32, Vec4>> literals;
+
+    /** Highest temp register index used + 1 (thread cost!). */
+    u32 numTemps = 0;
+    /** Bitmask of read input attribute registers. */
+    u32 inputsRead = 0;
+    /** Bitmask of written output registers. */
+    u32 outputsWritten = 0;
+    /** Bitmask of referenced texture units. */
+    u32 texturesUsed = 0;
+    /** Number of TEX/TXB/TXP instructions. */
+    u32 textureInstructions = 0;
+
+    /** Instruction count excluding END. */
+    u32
+    length() const
+    {
+        return static_cast<u32>(code.size());
+    }
+};
+
+using ShaderProgramPtr = std::shared_ptr<const ShaderProgram>;
+
+/**
+ * Assembles ARB-style shader program text into a ShaderProgram.
+ *
+ * Supported syntax (a practical subset of ARB_vertex_program /
+ * ARB_fragment_program):
+ *
+ *   !!ARBvp1.0 | !!ARBfp1.0
+ *   TEMP r0, r1;
+ *   PARAM c = program.env[4];  PARAM k = {0.5, 1, 2, 4};
+ *   ATTRIB p = vertex.attrib[0];
+ *   OUTPUT o = result.position;
+ *   ALIAS a = r0;
+ *   OP[_SAT] dst[.mask], [-]src[.swizzle] ...;
+ *   TEX dst, src, texture[0], 2D;
+ *   KIL src;
+ *   END
+ *
+ * Direct register references: vertex.position/.normal/.color/
+ * .fogcoord/.texcoord[n]/.attrib[n], fragment.position/.color/
+ * .fogcoord/.texcoord[n], result.position/.color/.depth/.fogcoord/
+ * .texcoord[n], program.env[n], program.local[n], and inline scalar
+ * or vector literals.
+ */
+class ShaderAssembler
+{
+  public:
+    /**
+     * Assemble @p source; throws FatalError with a line-numbered
+     * message on syntax errors.
+     */
+    ShaderProgramPtr assemble(const std::string& source);
+
+  private:
+    struct Impl;
+};
+
+/** Render @p program back to assembly-like text. */
+std::string disassemble(const ShaderProgram& program);
+
+/**
+ * Recompute the static analysis fields (numTemps, inputsRead,
+ * outputsWritten, texture usage) of @p program.  Used after
+ * instruction-level program transformations such as the driver's
+ * alpha-test injection.
+ */
+void analyzeProgram(ShaderProgram& program);
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_SHADER_ISA_HH

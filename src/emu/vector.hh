@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Vec4: the 4-component 32-bit float vector every ATTILA datapath
+ * works on (vertex attributes, fragment attributes, shader
+ * registers).
+ */
+
+#ifndef ATTILA_EMU_VECTOR_HH
+#define ATTILA_EMU_VECTOR_HH
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "sim/types.hh"
+
+namespace attila::emu
+{
+
+/** 4-component float vector. */
+struct Vec4
+{
+    f32 x = 0.0f;
+    f32 y = 0.0f;
+    f32 z = 0.0f;
+    f32 w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(f32 xv, f32 yv, f32 zv, f32 wv)
+        : x(xv), y(yv), z(zv), w(wv)
+    {}
+    constexpr explicit Vec4(f32 s) : x(s), y(s), z(s), w(s) {}
+
+    f32
+    operator[](u32 i) const
+    {
+        switch (i) {
+          case 0: return x;
+          case 1: return y;
+          case 2: return z;
+          default: return w;
+        }
+    }
+
+    f32&
+    operator[](u32 i)
+    {
+        switch (i) {
+          case 0: return x;
+          case 1: return y;
+          case 2: return z;
+          default: return w;
+        }
+    }
+
+    Vec4
+    operator+(const Vec4& o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+
+    Vec4
+    operator-(const Vec4& o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+
+    Vec4
+    operator*(const Vec4& o) const
+    {
+        return {x * o.x, y * o.y, z * o.z, w * o.w};
+    }
+
+    Vec4
+    operator*(f32 s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+
+    Vec4
+    operator-() const
+    {
+        return {-x, -y, -z, -w};
+    }
+
+    bool
+    operator==(const Vec4& o) const
+    {
+        return x == o.x && y == o.y && z == o.z && w == o.w;
+    }
+};
+
+/** 4-component dot product. */
+inline f32
+dot4(const Vec4& a, const Vec4& b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w;
+}
+
+/** 3-component dot product. */
+inline f32
+dot3(const Vec4& a, const Vec4& b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Componentwise minimum. */
+inline Vec4
+vmin(const Vec4& a, const Vec4& b)
+{
+    return {std::min(a.x, b.x), std::min(a.y, b.y),
+            std::min(a.z, b.z), std::min(a.w, b.w)};
+}
+
+/** Componentwise maximum. */
+inline Vec4
+vmax(const Vec4& a, const Vec4& b)
+{
+    return {std::max(a.x, b.x), std::max(a.y, b.y),
+            std::max(a.z, b.z), std::max(a.w, b.w)};
+}
+
+/** Clamp every component to [0, 1]. */
+inline Vec4
+saturate(const Vec4& v)
+{
+    return {std::clamp(v.x, 0.0f, 1.0f), std::clamp(v.y, 0.0f, 1.0f),
+            std::clamp(v.z, 0.0f, 1.0f), std::clamp(v.w, 0.0f, 1.0f)};
+}
+
+/** Cross product of the xyz parts; w is zero. */
+inline Vec4
+cross3(const Vec4& a, const Vec4& b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x, 0.0f};
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, const Vec4& v)
+{
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ", "
+              << v.w << ')';
+}
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_VECTOR_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ZCompressor: lossless depth-tile compression with 1:2 and 1:4
+ * ratios (paper §2.2, after the ATI Hot3D presentation and patent).
+ *
+ * A tile is the 64 depth/stencil words covered by one 256-byte Z
+ * cache line (an 8x8 pixel block).  The compressor fits a plane
+ * predictor through the depth values — depth is linear across a
+ * triangle's interior, so tiles covered by one or two triangles
+ * compress extremely well — and stores per-sample residuals in a
+ * reduced number of bits.  Compression only succeeds when it is
+ * exactly reversible (lossless); otherwise the tile stays
+ * uncompressed.
+ */
+
+#ifndef ATTILA_EMU_Z_COMPRESSOR_HH
+#define ATTILA_EMU_Z_COMPRESSOR_HH
+
+#include <array>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace attila::emu
+{
+
+/** Compression state of one framebuffer tile / cache line. */
+enum class TileCompression : u8
+{
+    Uncompressed, ///< 256 bytes.
+    Half,         ///< 1:2 — 128 bytes.
+    Quarter,      ///< 1:4 — 64 bytes.
+};
+
+/** Words per tile (8x8 pixels, one u32 per pixel). */
+constexpr u32 zTileWords = 64;
+/** Uncompressed tile size in bytes. */
+constexpr u32 zTileBytes = zTileWords * 4;
+
+/** Result of a compression attempt. */
+struct ZCompressResult
+{
+    TileCompression mode = TileCompression::Uncompressed;
+    /** Compressed payload; empty when uncompressed. */
+    std::vector<u8> data;
+
+    u32
+    storedBytes() const
+    {
+        switch (mode) {
+          case TileCompression::Half: return zTileBytes / 2;
+          case TileCompression::Quarter: return zTileBytes / 4;
+          default: return zTileBytes;
+        }
+    }
+};
+
+/**
+ * Plane-predictor depth tile compressor.
+ */
+class ZCompressor
+{
+  public:
+    /**
+     * Try to compress @p tile (64 depth/stencil words, row-major
+     * 8x8).  Requires a uniform stencil byte across the tile.
+     * Attempts 1:4 first, then 1:2.
+     */
+    static ZCompressResult compress(
+        const std::array<u32, zTileWords>& tile);
+
+    /**
+     * Reverse compress().  @p mode and @p data must come from a
+     * successful compression.
+     */
+    static std::array<u32, zTileWords> decompress(
+        TileCompression mode, const std::vector<u8>& data);
+};
+
+} // namespace attila::emu
+
+#endif // ATTILA_EMU_Z_COMPRESSOR_HH

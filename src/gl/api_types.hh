@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Enumerations of the AGL API — the OpenGL-flavoured interface of
+ * the ATTILA framework (paper §4).
+ */
+
+#ifndef ATTILA_GL_API_TYPES_HH
+#define ATTILA_GL_API_TYPES_HH
+
+#include "emu/fragment_op_emulator.hh"
+#include "emu/texture_emulator.hh"
+#include "gpu/regs.hh"
+
+namespace attila::gl
+{
+
+/** glEnable/glDisable capabilities. */
+enum class Cap : u8
+{
+    DepthTest,
+    StencilTest,
+    Blend,
+    CullFace,
+    ScissorTest,
+    AlphaTest,
+    Fog,
+    Lighting,
+    Texture2D,       ///< Applies to the active texture unit.
+    VertexProgram,   ///< ARB_vertex_program mode.
+    FragmentProgram, ///< ARB_fragment_program mode.
+    StencilTwoSide,  ///< EXT_stencil_two_side-style mode.
+};
+
+/** glMatrixMode. */
+enum class MatrixMode : u8 { ModelView, Projection };
+
+/** glTexEnv modes. */
+enum class TexEnvMode : u8 { Modulate, Replace, Decal, Add };
+
+/** glFog modes. */
+enum class FogMode : u8 { Linear, Exp, Exp2 };
+
+/** Clear bits. */
+constexpr u32 clearColorBit = 1;
+constexpr u32 clearDepthBit = 2;
+constexpr u32 clearStencilBit = 4;
+
+/** Standard attribute slots (ARB conventions, see emu::regix). */
+constexpr u32 attrPosition = 0;
+constexpr u32 attrNormal = 2;
+constexpr u32 attrColor = 3;
+constexpr u32 attrTexCoord0 = 8;
+
+/** Maximum fixed-function lights. */
+constexpr u32 maxLights = 4;
+
+/** Per-light fixed-function state. */
+struct LightState
+{
+    bool enabled = false;
+    emu::Vec4 direction{0.0f, 0.0f, 1.0f, 0.0f}; ///< To the light.
+    emu::Vec4 diffuse{1.0f, 1.0f, 1.0f, 1.0f};
+    emu::Vec4 ambient{0.0f, 0.0f, 0.0f, 1.0f};
+};
+
+/** Fixed-function material. */
+struct MaterialState
+{
+    emu::Vec4 diffuse{0.8f, 0.8f, 0.8f, 1.0f};
+    emu::Vec4 ambient{0.2f, 0.2f, 0.2f, 1.0f};
+};
+
+/** Fog state. */
+struct FogState
+{
+    bool enabled = false;
+    FogMode mode = FogMode::Linear;
+    emu::Vec4 color{0.0f, 0.0f, 0.0f, 0.0f};
+    f32 density = 1.0f;
+    f32 start = 0.0f;
+    f32 end = 1.0f;
+};
+
+/** Alpha test state. */
+struct AlphaTestState
+{
+    bool enabled = false;
+    emu::CompareFunc func = emu::CompareFunc::Always;
+    f32 ref = 0.0f;
+};
+
+} // namespace attila::gl
+
+#endif // ATTILA_GL_API_TYPES_HH

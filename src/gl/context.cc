@@ -1,0 +1,1371 @@
+#include "gl/context.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "gl/trace.hh"
+#include "gpu/framebuffer.hh"
+#include "sim/logging.hh"
+
+namespace attila::gl
+{
+
+using emu::Vec4;
+using gpu::Command;
+using gpu::Reg;
+using gpu::RegValue;
+
+namespace
+{
+
+constexpr f32 pi = 3.14159265358979323846f;
+
+/** Convert any scalar or enum to the trace-record f64 encoding. */
+template <typename T>
+f64
+asScalar(T v)
+{
+    if constexpr (std::is_enum_v<T>) {
+        return static_cast<f64>(
+            static_cast<std::underlying_type_t<T>>(v));
+    } else {
+        return static_cast<f64>(v);
+    }
+}
+
+/** Pack a Vec4 into scalars for trace records. */
+void
+appendVec(std::vector<f64>& scalars, const Vec4& v)
+{
+    scalars.push_back(v.x);
+    scalars.push_back(v.y);
+    scalars.push_back(v.z);
+    scalars.push_back(v.w);
+}
+
+} // anonymous namespace
+
+Context::Context(u32 width, u32 height, u32 memory_size)
+    : _width(width),
+      _height(height),
+      _driver(memory_size,
+              // Framebuffer arena: colour + depth/stencil surfaces.
+              gpu::fbSurfaceBytes(width, height) * 2)
+{
+    _colorAddress = 0;
+    _zStencilAddress = gpu::fbSurfaceBytes(width, height);
+    _viewport = {0, 0, width, height};
+}
+
+gpu::CommandList
+Context::takeCommands()
+{
+    return _driver.takeCommands();
+}
+
+emu::Mat4&
+Context::currentMatrix()
+{
+    auto& stack = _matrixMode == MatrixMode::ModelView
+                      ? _modelViewStack
+                      : _projectionStack;
+    return stack.back();
+}
+
+// ===== Frame =======================================================
+
+void
+Context::clearColor(f32 r, f32 g, f32 b, f32 a)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ClearColorVal, {r, g, b, a});
+    _clearColor = {r, g, b, a};
+}
+
+void
+Context::clearDepth(f32 depth)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ClearDepthVal, {depth});
+    _clearDepth = depth;
+}
+
+void
+Context::clearStencil(u8 stencil)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ClearStencilVal,
+                          {asScalar(stencil)});
+    _clearStencil = stencil;
+}
+
+void
+Context::emitFrameState()
+{
+    _driver.writeReg(Reg::FbWidth, RegValue(_width));
+    _driver.writeReg(Reg::FbHeight, RegValue(_height));
+    _driver.writeReg(Reg::ColorBufferAddr, RegValue(_colorAddress));
+    _driver.writeReg(Reg::ZStencilBufferAddr,
+                     RegValue(_zStencilAddress));
+    _driver.writeReg(Reg::ViewportX,
+                     RegValue(static_cast<u32>(_viewport.x)));
+    _driver.writeReg(Reg::ViewportY,
+                     RegValue(static_cast<u32>(_viewport.y)));
+    _driver.writeReg(Reg::ViewportWidth, RegValue(_viewport.width));
+    _driver.writeReg(Reg::ViewportHeight,
+                     RegValue(_viewport.height));
+    _driver.writeReg(Reg::ClearColor, RegValue(_clearColor));
+    _driver.writeReg(Reg::ClearDepth, RegValue(_clearDepth));
+    _driver.writeReg(Reg::ClearStencil,
+                     RegValue(static_cast<u32>(_clearStencil)));
+}
+
+void
+Context::clear(u32 mask)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::Clear,
+                          {asScalar(mask)});
+    emitFrameState();
+    if (mask & clearColorBit)
+        _driver.emit(Command::clearColor());
+    if (mask & (clearDepthBit | clearStencilBit))
+        _driver.emit(Command::clearZStencil());
+}
+
+void
+Context::swapBuffers()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::SwapBuffers);
+    emitFrameState();
+    _driver.emit(Command::swap());
+    ++_frames;
+}
+
+void
+Context::viewport(s32 x, s32 y, u32 w, u32 h)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::Viewport,
+                          {asScalar(x), asScalar(y),
+                           asScalar(w),
+                           asScalar(h)});
+    _viewport = {x, y, w, h};
+}
+
+// ===== Capabilities ================================================
+
+void
+Context::enable(Cap cap)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::Enable,
+                          {asScalar(cap)});
+    switch (cap) {
+      case Cap::DepthTest: _depthTestEnabled = true; break;
+      case Cap::StencilTest: _stencilTestEnabled = true; break;
+      case Cap::Blend: _blendEnabled = true; break;
+      case Cap::CullFace: _cullEnabled = true; break;
+      case Cap::ScissorTest: _scissor.enabled = true; break;
+      case Cap::AlphaTest: _alphaTest.enabled = true; break;
+      case Cap::Fog: _fog.enabled = true; break;
+      case Cap::Lighting: _lightingEnabled = true; break;
+      case Cap::Texture2D: _texEnabled[_activeUnit] = true; break;
+      case Cap::VertexProgram: _vertexProgramEnabled = true; break;
+      case Cap::FragmentProgram:
+        _fragmentProgramEnabled = true;
+        break;
+      case Cap::StencilTwoSide:
+        _stencilTwoSideEnabled = true;
+        break;
+    }
+}
+
+void
+Context::disable(Cap cap)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::Disable,
+                          {asScalar(cap)});
+    switch (cap) {
+      case Cap::DepthTest: _depthTestEnabled = false; break;
+      case Cap::StencilTest: _stencilTestEnabled = false; break;
+      case Cap::Blend: _blendEnabled = false; break;
+      case Cap::CullFace: _cullEnabled = false; break;
+      case Cap::ScissorTest: _scissor.enabled = false; break;
+      case Cap::AlphaTest: _alphaTest.enabled = false; break;
+      case Cap::Fog: _fog.enabled = false; break;
+      case Cap::Lighting: _lightingEnabled = false; break;
+      case Cap::Texture2D: _texEnabled[_activeUnit] = false; break;
+      case Cap::VertexProgram: _vertexProgramEnabled = false; break;
+      case Cap::FragmentProgram:
+        _fragmentProgramEnabled = false;
+        break;
+      case Cap::StencilTwoSide:
+        _stencilTwoSideEnabled = false;
+        break;
+    }
+}
+
+bool
+Context::isEnabled(Cap cap) const
+{
+    switch (cap) {
+      case Cap::DepthTest: return _depthTestEnabled;
+      case Cap::StencilTest: return _stencilTestEnabled;
+      case Cap::Blend: return _blendEnabled;
+      case Cap::CullFace: return _cullEnabled;
+      case Cap::ScissorTest: return _scissor.enabled;
+      case Cap::AlphaTest: return _alphaTest.enabled;
+      case Cap::Fog: return _fog.enabled;
+      case Cap::Lighting: return _lightingEnabled;
+      case Cap::Texture2D: return _texEnabled[_activeUnit];
+      case Cap::VertexProgram: return _vertexProgramEnabled;
+      case Cap::FragmentProgram: return _fragmentProgramEnabled;
+      case Cap::StencilTwoSide: return _stencilTwoSideEnabled;
+    }
+    return false;
+}
+
+// ===== Per-fragment state ==========================================
+
+void
+Context::depthFunc(emu::CompareFunc func)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DepthFunc,
+                          {asScalar(func)});
+    _zStencil.depthFunc = func;
+}
+
+void
+Context::depthMask(bool write)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DepthMask,
+                          {asScalar(write)});
+    _zStencil.depthWrite = write;
+}
+
+void
+Context::stencilFunc(emu::CompareFunc func, u8 ref, u8 mask)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::StencilFuncCall,
+                          {asScalar(func),
+                           asScalar(ref),
+                           asScalar(mask)});
+    _zStencil.stencilFunc = func;
+    _zStencil.stencilRef = ref;
+    _zStencil.stencilCompareMask = mask;
+}
+
+void
+Context::stencilOp(emu::StencilOp fail, emu::StencilOp zfail,
+                   emu::StencilOp zpass)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::StencilOpCall,
+                          {asScalar(fail),
+                           asScalar(zfail),
+                           asScalar(zpass)});
+    _zStencil.stencilFail = fail;
+    _zStencil.depthFail = zfail;
+    _zStencil.depthPass = zpass;
+}
+
+void
+Context::stencilMask(u8 mask)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::StencilMask,
+                          {asScalar(mask)});
+    _zStencil.stencilWriteMask = mask;
+}
+
+void
+Context::stencilFuncBack(emu::CompareFunc func, u8 ref, u8 mask)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::StencilFuncBackCall,
+                          {asScalar(func), asScalar(ref),
+                           asScalar(mask)});
+    _zStencil.backFunc = func;
+    _zStencil.backRef = ref;
+    _zStencil.backCompareMask = mask;
+    _zStencil.backWriteMask = 0xff;
+}
+
+void
+Context::stencilOpBack(emu::StencilOp fail, emu::StencilOp zfail,
+                       emu::StencilOp zpass)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::StencilOpBackCall,
+                          {asScalar(fail), asScalar(zfail),
+                           asScalar(zpass)});
+    _zStencil.backFail = fail;
+    _zStencil.backDepthFail = zfail;
+    _zStencil.backDepthPass = zpass;
+}
+
+void
+Context::blendFunc(emu::BlendFactor src, emu::BlendFactor dst)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::BlendFuncCall,
+                          {asScalar(src),
+                           asScalar(dst)});
+    _blend.srcFactor = src;
+    _blend.dstFactor = dst;
+}
+
+void
+Context::blendEquation(emu::BlendEquation eq)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::BlendEquationCall,
+                          {asScalar(eq)});
+    _blend.equation = eq;
+}
+
+void
+Context::blendColor(f32 r, f32 g, f32 b, f32 a)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::BlendColorCall, {r, g, b, a});
+    _blend.constantColor = {r, g, b, a};
+}
+
+void
+Context::colorMask(bool r, bool g, bool b, bool a)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ColorMask,
+                          {asScalar(r), asScalar(g),
+                           asScalar(b),
+                           asScalar(a)});
+    _blend.colorMask = static_cast<u8>((r ? 1 : 0) | (g ? 2 : 0) |
+                                       (b ? 4 : 0) | (a ? 8 : 0));
+}
+
+void
+Context::alphaFunc(emu::CompareFunc func, f32 ref)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::AlphaFuncCall,
+                          {asScalar(func), ref});
+    _alphaTest.func = func;
+    _alphaTest.ref = ref;
+}
+
+void
+Context::scissor(s32 x, s32 y, u32 w, u32 h)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::Scissor,
+                          {asScalar(x), asScalar(y),
+                           asScalar(w),
+                           asScalar(h)});
+    _scissor.x = x;
+    _scissor.y = y;
+    _scissor.width = w;
+    _scissor.height = h;
+}
+
+// ===== Geometry state ==============================================
+
+void
+Context::cullFace(gpu::CullMode mode)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::CullFaceMode,
+                          {asScalar(mode)});
+    _cullMode = mode;
+}
+
+void
+Context::frontFaceCcw(bool ccw)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::FrontFace,
+                          {asScalar(ccw)});
+    _frontCcw = ccw;
+}
+
+// ===== Matrices ====================================================
+
+void
+Context::matrixMode(MatrixMode mode)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::MatrixModeCall,
+                          {asScalar(mode)});
+    _matrixMode = mode;
+}
+
+void
+Context::loadIdentity()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::LoadIdentity);
+    currentMatrix() = emu::Mat4::identity();
+}
+
+void
+Context::loadMatrix(const emu::Mat4& m)
+{
+    if (_recorder) {
+        std::vector<f64> scalars;
+        for (u32 i = 0; i < 4; ++i)
+            for (u32 j = 0; j < 4; ++j)
+                scalars.push_back(m.m[i][j]);
+        _recorder->record(TraceOp::LoadMatrix,
+                          {scalars[0], scalars[1], scalars[2],
+                           scalars[3], scalars[4], scalars[5],
+                           scalars[6], scalars[7], scalars[8],
+                           scalars[9], scalars[10], scalars[11],
+                           scalars[12], scalars[13], scalars[14],
+                           scalars[15]});
+    }
+    currentMatrix() = m;
+}
+
+void
+Context::multMatrix(const emu::Mat4& m)
+{
+    if (_recorder) {
+        std::vector<f64> scalars;
+        for (u32 i = 0; i < 4; ++i)
+            for (u32 j = 0; j < 4; ++j)
+                scalars.push_back(m.m[i][j]);
+        _recorder->record(TraceOp::MultMatrix,
+                          {scalars[0], scalars[1], scalars[2],
+                           scalars[3], scalars[4], scalars[5],
+                           scalars[6], scalars[7], scalars[8],
+                           scalars[9], scalars[10], scalars[11],
+                           scalars[12], scalars[13], scalars[14],
+                           scalars[15]});
+    }
+    currentMatrix() = currentMatrix() * m;
+}
+
+void
+Context::pushMatrix()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::PushMatrix);
+    auto& stack = _matrixMode == MatrixMode::ModelView
+                      ? _modelViewStack
+                      : _projectionStack;
+    stack.push_back(stack.back());
+}
+
+void
+Context::popMatrix()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::PopMatrix);
+    auto& stack = _matrixMode == MatrixMode::ModelView
+                      ? _modelViewStack
+                      : _projectionStack;
+    if (stack.size() <= 1)
+        fatal("Context: matrix stack underflow");
+    stack.pop_back();
+}
+
+void
+Context::translate(f32 x, f32 y, f32 z)
+{
+    multMatrix(emu::Mat4::translate(x, y, z));
+}
+
+void
+Context::rotate(f32 degrees, f32 x, f32 y, f32 z)
+{
+    multMatrix(emu::Mat4::rotate(degrees * pi / 180.0f, x, y, z));
+}
+
+void
+Context::scale(f32 x, f32 y, f32 z)
+{
+    multMatrix(emu::Mat4::scale(x, y, z));
+}
+
+void
+Context::frustum(f32 l, f32 r, f32 b, f32 t, f32 n, f32 f)
+{
+    multMatrix(emu::Mat4::frustum(l, r, b, t, n, f));
+}
+
+void
+Context::ortho(f32 l, f32 r, f32 b, f32 t, f32 n, f32 f)
+{
+    multMatrix(emu::Mat4::ortho(l, r, b, t, n, f));
+}
+
+void
+Context::perspective(f32 fovy_degrees, f32 aspect, f32 n, f32 f)
+{
+    multMatrix(emu::Mat4::perspective(fovy_degrees * pi / 180.0f,
+                                      aspect, n, f));
+}
+
+void
+Context::lookAt(const Vec4& eye, const Vec4& center, const Vec4& up)
+{
+    multMatrix(emu::Mat4::lookAt(eye, center, up));
+}
+
+// ===== Lighting / fog / color ======================================
+
+void
+Context::light(u32 index, const LightState& state)
+{
+    if (index >= maxLights)
+        fatal("Context: light index out of range");
+    if (_recorder) {
+        std::vector<f64> s{asScalar(index),
+                           asScalar(state.enabled)};
+        appendVec(s, state.direction);
+        appendVec(s, state.diffuse);
+        appendVec(s, state.ambient);
+        _recorder->record(TraceOp::Light,
+                          {s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                           s[7], s[8], s[9], s[10], s[11], s[12],
+                           s[13]});
+    }
+    _lights[index] = state;
+}
+
+void
+Context::material(const MaterialState& state)
+{
+    if (_recorder) {
+        std::vector<f64> s;
+        appendVec(s, state.diffuse);
+        appendVec(s, state.ambient);
+        _recorder->record(TraceOp::Material,
+                          {s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                           s[7]});
+    }
+    _material = state;
+}
+
+void
+Context::sceneAmbient(f32 r, f32 g, f32 b, f32 a)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::SceneAmbient, {r, g, b, a});
+    _sceneAmbient = {r, g, b, a};
+}
+
+void
+Context::fog(const FogState& state)
+{
+    if (_recorder) {
+        _recorder->record(
+            TraceOp::FogCall,
+            {asScalar(state.mode), state.color.x,
+             state.color.y, state.color.z, state.color.w,
+             state.density, state.start, state.end});
+    }
+    const bool enabled = _fog.enabled;
+    _fog = state;
+    _fog.enabled = enabled; // Enabled via Cap::Fog.
+}
+
+void
+Context::color(f32 r, f32 g, f32 b, f32 a)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::Color, {r, g, b, a});
+    _currentColor = {r, g, b, a};
+}
+
+// ===== Buffer objects ==============================================
+
+u32
+Context::genBuffer()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::GenBuffer);
+    const u32 id = _nextObjectId++;
+    _buffers.emplace(id, BufferObject{});
+    return id;
+}
+
+void
+Context::bufferData(u32 buffer, std::vector<u8> data)
+{
+    if (_recorder) {
+        _recorder->record(TraceOp::BufferData,
+                          {asScalar(buffer)}, data.data(),
+                          data.size());
+    }
+    auto it = _buffers.find(buffer);
+    if (it == _buffers.end())
+        fatal("Context: bufferData on unknown buffer ", buffer);
+    BufferObject& obj = it->second;
+
+    const u32 bytes = static_cast<u32>(data.size());
+    if (obj.uploaded && obj.gpuSize < bytes) {
+        _driver.allocator().release(obj.gpuAddress);
+        obj.uploaded = false;
+    }
+    if (!obj.uploaded) {
+        obj.gpuAddress = _driver.allocator().allocate(bytes);
+        obj.gpuSize = (bytes + 255u) & ~255u;
+        obj.uploaded = true;
+    }
+    obj.data = std::move(data);
+    _driver.writeBuffer(obj.gpuAddress, obj.data);
+}
+
+void
+Context::deleteBuffer(u32 buffer)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DeleteBuffer,
+                          {asScalar(buffer)});
+    auto it = _buffers.find(buffer);
+    if (it == _buffers.end())
+        return;
+    if (it->second.uploaded)
+        _driver.allocator().release(it->second.gpuAddress);
+    _buffers.erase(it);
+}
+
+// ===== Vertex arrays ===============================================
+
+void
+Context::attribPointer(u32 attr, u32 buffer,
+                       gpu::StreamFormat format, u32 stride,
+                       u32 offset)
+{
+    if (_recorder) {
+        _recorder->record(TraceOp::AttribPointer,
+                          {asScalar(attr),
+                           asScalar(buffer),
+                           asScalar(format),
+                           asScalar(stride),
+                           asScalar(offset)});
+    }
+    if (attr >= gpu::maxVertexStreams)
+        fatal("Context: attribute index out of range");
+    _attribs[attr] = {true, buffer, format, stride, offset};
+}
+
+void
+Context::disableAttrib(u32 attr)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DisableAttrib,
+                          {asScalar(attr)});
+    if (attr < gpu::maxVertexStreams)
+        _attribs[attr].enabled = false;
+}
+
+void
+Context::vertexPointer(u32 buffer, gpu::StreamFormat format,
+                       u32 stride, u32 offset)
+{
+    attribPointer(attrPosition, buffer, format, stride, offset);
+}
+
+void
+Context::normalPointer(u32 buffer, u32 stride, u32 offset)
+{
+    attribPointer(attrNormal, buffer, gpu::StreamFormat::Float3,
+                  stride, offset);
+}
+
+void
+Context::colorPointer(u32 buffer, gpu::StreamFormat format,
+                      u32 stride, u32 offset)
+{
+    attribPointer(attrColor, buffer, format, stride, offset);
+}
+
+void
+Context::texCoordPointer(u32 unit, u32 buffer,
+                         gpu::StreamFormat format, u32 stride,
+                         u32 offset)
+{
+    attribPointer(attrTexCoord0 + unit, buffer, format, stride,
+                  offset);
+}
+
+// ===== Textures ====================================================
+
+u32
+Context::genTexture()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::GenTexture);
+    const u32 id = _nextObjectId++;
+    _textures.emplace(id, TextureObject{});
+    return id;
+}
+
+void
+Context::bindTexture(u32 texture)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::BindTexture,
+                          {asScalar(texture)});
+    _boundTexture[_activeUnit] = texture;
+}
+
+void
+Context::activeTexture(u32 unit)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ActiveTexture,
+                          {asScalar(unit)});
+    if (unit >= gpu::maxTextureUnits)
+        fatal("Context: texture unit out of range");
+    _activeUnit = unit;
+}
+
+void
+Context::texImage2D(u32 level, emu::TexFormat format, u32 w, u32 h,
+                    std::vector<u8> data)
+{
+    if (_recorder) {
+        _recorder->record(TraceOp::TexImage2D,
+                          {asScalar(level),
+                           asScalar(format),
+                           asScalar(w),
+                           asScalar(h)},
+                          data.data(), data.size());
+    }
+    auto it = _textures.find(_boundTexture[_activeUnit]);
+    if (it == _textures.end())
+        fatal("Context: texImage2D with no bound texture");
+    TextureObject& tex = it->second;
+    tex.desc.target = emu::TexTarget::Tex2D;
+    tex.desc.format = format;
+    tex.desc.mips[0][level].width = w;
+    tex.desc.mips[0][level].height = h;
+    tex.cpu[0][level] = std::move(data);
+    tex.desc.levels = std::max(tex.desc.levels, level + 1);
+    tex.dirty = true;
+}
+
+void
+Context::texImageCube(u32 face, u32 level, emu::TexFormat format,
+                      u32 w, u32 h, std::vector<u8> data)
+{
+    if (_recorder) {
+        _recorder->record(TraceOp::TexImageCube,
+                          {asScalar(face),
+                           asScalar(level),
+                           asScalar(format),
+                           asScalar(w),
+                           asScalar(h)},
+                          data.data(), data.size());
+    }
+    auto it = _textures.find(_boundTexture[_activeUnit]);
+    if (it == _textures.end())
+        fatal("Context: texImageCube with no bound texture");
+    TextureObject& tex = it->second;
+    tex.desc.target = emu::TexTarget::Cube;
+    tex.desc.format = format;
+    tex.desc.mips[face][level].width = w;
+    tex.desc.mips[face][level].height = h;
+    tex.cpu[face][level] = std::move(data);
+    tex.desc.levels = std::max(tex.desc.levels, level + 1);
+    tex.dirty = true;
+}
+
+void
+Context::texFilter(emu::MinFilter min_filter, bool mag_linear)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::TexFilter,
+                          {asScalar(min_filter),
+                           asScalar(mag_linear)});
+    auto it = _textures.find(_boundTexture[_activeUnit]);
+    if (it == _textures.end())
+        fatal("Context: texFilter with no bound texture");
+    it->second.desc.minFilter = min_filter;
+    it->second.desc.magLinear = mag_linear;
+    it->second.dirty = true;
+}
+
+void
+Context::texWrap(emu::WrapMode s, emu::WrapMode t)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::TexWrap,
+                          {asScalar(s),
+                           asScalar(t)});
+    auto it = _textures.find(_boundTexture[_activeUnit]);
+    if (it == _textures.end())
+        fatal("Context: texWrap with no bound texture");
+    it->second.desc.wrapS = s;
+    it->second.desc.wrapT = t;
+    it->second.dirty = true;
+}
+
+void
+Context::texMaxAnisotropy(u32 samples)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::TexMaxAniso,
+                          {asScalar(samples)});
+    auto it = _textures.find(_boundTexture[_activeUnit]);
+    if (it == _textures.end())
+        fatal("Context: texMaxAnisotropy with no bound texture");
+    it->second.desc.maxAnisotropy = std::max(1u, samples);
+    it->second.dirty = true;
+}
+
+void
+Context::generateMipmaps()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::GenerateMipmaps);
+    auto it = _textures.find(_boundTexture[_activeUnit]);
+    if (it == _textures.end())
+        fatal("Context: generateMipmaps with no bound texture");
+    TextureObject& tex = it->second;
+    if (tex.desc.format != emu::TexFormat::RGBA8)
+        fatal("Context: generateMipmaps supports RGBA8 only");
+
+    const u32 faces =
+        tex.desc.target == emu::TexTarget::Cube ? 6u : 1u;
+    for (u32 face = 0; face < faces; ++face) {
+        u32 level = 0;
+        while (tex.desc.mips[face][level].width > 1 ||
+               tex.desc.mips[face][level].height > 1) {
+            const emu::MipLevel& src = tex.desc.mips[face][level];
+            const u32 dw = std::max(1u, src.width / 2);
+            const u32 dh = std::max(1u, src.height / 2);
+            std::vector<u8> down(dw * dh * 4);
+            const std::vector<u8>& s = tex.cpu[face][level];
+            for (u32 y = 0; y < dh; ++y) {
+                for (u32 x = 0; x < dw; ++x) {
+                    for (u32 c = 0; c < 4; ++c) {
+                        u32 acc = 0;
+                        for (u32 dy = 0; dy < 2; ++dy) {
+                            for (u32 dx = 0; dx < 2; ++dx) {
+                                const u32 sx = std::min(
+                                    src.width - 1, x * 2 + dx);
+                                const u32 sy = std::min(
+                                    src.height - 1, y * 2 + dy);
+                                acc += s[(sy * src.width + sx) * 4 +
+                                         c];
+                            }
+                        }
+                        down[(y * dw + x) * 4 + c] =
+                            static_cast<u8>(acc / 4);
+                    }
+                }
+            }
+            ++level;
+            tex.desc.mips[face][level].width = dw;
+            tex.desc.mips[face][level].height = dh;
+            tex.cpu[face][level] = std::move(down);
+        }
+        tex.desc.levels = std::max(tex.desc.levels, level + 1);
+    }
+    tex.dirty = true;
+}
+
+void
+Context::texEnv(TexEnvMode mode)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::TexEnv,
+                          {asScalar(mode)});
+    _texEnvMode[_activeUnit] = mode;
+}
+
+void
+Context::deleteTexture(u32 texture)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DeleteTexture,
+                          {asScalar(texture)});
+    auto it = _textures.find(texture);
+    if (it == _textures.end())
+        return;
+    if (it->second.allocated)
+        _driver.allocator().release(it->second.gpuBase);
+    _textures.erase(it);
+}
+
+// ===== Programs ====================================================
+
+u32
+Context::genProgram()
+{
+    if (_recorder)
+        _recorder->record(TraceOp::GenProgram);
+    const u32 id = _nextObjectId++;
+    _programs.emplace(id, ProgramObject{});
+    return id;
+}
+
+void
+Context::programString(u32 program, const std::string& source)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ProgramString,
+                          {asScalar(program)}, nullptr, 0,
+                          source);
+    auto it = _programs.find(program);
+    if (it == _programs.end())
+        fatal("Context: programString on unknown program ", program);
+    emu::ShaderAssembler assembler;
+    it->second.source = source;
+    it->second.program = assembler.assemble(source);
+}
+
+void
+Context::bindProgramVertex(u32 program)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::BindProgramVertex,
+                          {asScalar(program)});
+    _boundVertexProgram = program;
+}
+
+void
+Context::bindProgramFragment(u32 program)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::BindProgramFragment,
+                          {asScalar(program)});
+    _boundFragmentProgram = program;
+}
+
+void
+Context::programEnvParam(emu::ShaderTarget target, u32 index,
+                         const Vec4& value)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ProgramEnvParam,
+                          {asScalar(target),
+                           asScalar(index), value.x,
+                           value.y, value.z, value.w});
+    const Reg reg = target == emu::ShaderTarget::Vertex
+                        ? Reg::VertexConstant
+                        : Reg::FragmentConstant;
+    _driver.writeReg(reg, RegValue(value), index);
+}
+
+void
+Context::programLocalParam(emu::ShaderTarget target, u32 index,
+                           const Vec4& value)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::ProgramLocalParam,
+                          {asScalar(target),
+                           asScalar(index), value.x,
+                           value.y, value.z, value.w});
+    const Reg reg = target == emu::ShaderTarget::Vertex
+                        ? Reg::VertexConstant
+                        : Reg::FragmentConstant;
+    _driver.writeReg(reg, RegValue(value),
+                     emu::regix::paramLocalBase + index);
+}
+
+// ===== Draw ========================================================
+
+FixedFunctionKey
+Context::makeKey() const
+{
+    FixedFunctionKey key;
+    key.lighting = _lightingEnabled;
+    for (u32 l = 0; l < maxLights; ++l) {
+        if (_lights[l].enabled)
+            key.lightMask |= static_cast<u8>(1u << l);
+    }
+    key.colorFromArray = _attribs[attrColor].enabled;
+    for (u32 u = 0; u < 4; ++u) {
+        if (_texEnabled[u] && _boundTexture[u] != 0) {
+            key.textureMask |= static_cast<u8>(1u << u);
+            key.envModes[u] = _texEnvMode[u];
+        }
+    }
+    key.alphaTest = _alphaTest.enabled;
+    key.alphaFunc = _alphaTest.func;
+    key.fog = _fog.enabled;
+    key.fogMode = _fog.mode;
+    return key;
+}
+
+void
+Context::uploadTexture(u32 unit, TextureObject& tex)
+{
+    (void)unit;
+    const u32 faces =
+        tex.desc.target == emu::TexTarget::Cube ? 6u : 1u;
+
+    if (!tex.allocated) {
+        u32 total = 0;
+        for (u32 face = 0; face < faces; ++face) {
+            for (u32 level = 0; level < tex.desc.levels; ++level) {
+                const emu::MipLevel& mip = tex.desc.mips[face][level];
+                if (mip.width == 0)
+                    continue;
+                total += (emu::mipStorageBytes(tex.desc.format,
+                                               mip.width,
+                                               mip.height) +
+                          255u) & ~255u;
+            }
+        }
+        tex.gpuBase = _driver.allocator().allocate(total);
+        u32 offset = 0;
+        for (u32 face = 0; face < faces; ++face) {
+            for (u32 level = 0; level < tex.desc.levels; ++level) {
+                emu::MipLevel& mip = tex.desc.mips[face][level];
+                if (mip.width == 0)
+                    continue;
+                mip.address = tex.gpuBase + offset;
+                offset += (emu::mipStorageBytes(tex.desc.format,
+                                                mip.width,
+                                                mip.height) +
+                           255u) & ~255u;
+            }
+        }
+        tex.allocated = true;
+    }
+
+    for (u32 face = 0; face < faces; ++face) {
+        for (u32 level = 0; level < tex.desc.levels; ++level) {
+            const emu::MipLevel& mip = tex.desc.mips[face][level];
+            if (mip.width == 0 || tex.cpu[face][level].empty())
+                continue;
+            _driver.writeBuffer(
+                mip.address,
+                Driver::tileMipImage(tex.desc.format, mip.width,
+                                     mip.height,
+                                     tex.cpu[face][level].data()));
+        }
+    }
+    tex.dirty = false;
+    tex.version = _textureVersionCounter++;
+}
+
+void
+Context::prepareTextures()
+{
+    // Units needed by the active fragment path.
+    u32 needed = 0;
+    if (_fragmentProgramEnabled && _boundFragmentProgram) {
+        auto it = _programs.find(_boundFragmentProgram);
+        if (it != _programs.end() && it->second.program)
+            needed = it->second.program->texturesUsed;
+    } else {
+        needed = makeKey().textureMask;
+    }
+
+    for (u32 u = 0; u < gpu::maxTextureUnits; ++u) {
+        const bool want = (needed >> u) & 1;
+        if (!want) {
+            if (_emittedTexture[u] != 0) {
+                _driver.writeReg(Reg::TexEnable, RegValue(0u), u);
+                _emittedTexture[u] = 0;
+            }
+            continue;
+        }
+        auto it = _textures.find(_boundTexture[u]);
+        if (it == _textures.end())
+            fatal("Context: draw uses texture unit ", u,
+                  " with no texture bound");
+        TextureObject& tex = it->second;
+        if (tex.dirty || !tex.allocated)
+            uploadTexture(u, tex);
+        if (_emittedTexture[u] != _boundTexture[u] ||
+            _emittedTexVersion[u] != tex.version) {
+            _driver.writeReg(Reg::TexEnable, RegValue(1u), u);
+            _driver.emitTextureDescriptor(u, tex.desc);
+            _emittedTexture[u] = _boundTexture[u];
+            _emittedTexVersion[u] = tex.version;
+        }
+    }
+}
+
+void
+Context::emitFixedFunctionConstants()
+{
+    const emu::Mat4 mvp =
+        _projectionStack.back() * _modelViewStack.back();
+    for (u32 i = 0; i < 4; ++i) {
+        _driver.writeReg(Reg::VertexConstant, RegValue(mvp.row(i)),
+                         envMvpRow0 + i);
+    }
+    const emu::Mat4& mv = _modelViewStack.back();
+    for (u32 i = 0; i < 4; ++i) {
+        _driver.writeReg(Reg::VertexConstant, RegValue(mv.row(i)),
+                         envModelViewRow0 + i);
+    }
+
+    if (_lightingEnabled) {
+        Vec4 ambient = _sceneAmbient * _material.ambient;
+        for (u32 l = 0; l < maxLights; ++l) {
+            if (!_lights[l].enabled)
+                continue;
+            ambient = ambient +
+                      _lights[l].ambient * _material.ambient;
+            // Normalize the (eye space) light direction.
+            Vec4 dir = _lights[l].direction;
+            const f32 len = std::sqrt(dot3(dir, dir));
+            if (len > 0.0f)
+                dir = dir * (1.0f / len);
+            _driver.writeReg(Reg::VertexConstant, RegValue(dir),
+                             envLightBase + 2 * l);
+            _driver.writeReg(
+                Reg::VertexConstant,
+                RegValue(_lights[l].diffuse * _material.diffuse),
+                envLightBase + 2 * l + 1);
+        }
+        ambient.w = _material.diffuse.w;
+        _driver.writeReg(Reg::VertexConstant, RegValue(ambient),
+                         envAmbient);
+        _driver.writeReg(Reg::VertexConstant,
+                         RegValue(_material.diffuse),
+                         envMaterialDiffuse);
+    }
+    _driver.writeReg(Reg::VertexConstant, RegValue(_currentColor),
+                     envCurrentColor);
+
+    if (_fog.enabled) {
+        const f32 scale = _fog.end != _fog.start
+                              ? 1.0f / (_fog.end - _fog.start)
+                              : 1.0f;
+        const Vec4 params{scale, _fog.end * scale,
+                          _fog.density * 1.442695f, _fog.density};
+        _driver.writeReg(Reg::FragmentConstant, RegValue(params),
+                         envFogParams);
+        _driver.writeReg(Reg::FragmentConstant,
+                         RegValue(_fog.color), envFogColor);
+    }
+    if (_alphaTest.enabled) {
+        _driver.writeReg(
+            Reg::FragmentConstant,
+            RegValue(Vec4{_alphaTest.ref, 0.5f, 1.0f, 0.0f}),
+            envAlphaRef);
+    }
+}
+
+void
+Context::preparePrograms()
+{
+    emu::ShaderProgramPtr vp;
+    emu::ShaderProgramPtr fp;
+
+    if (_vertexProgramEnabled && _boundVertexProgram) {
+        auto it = _programs.find(_boundVertexProgram);
+        if (it == _programs.end() || !it->second.program)
+            fatal("Context: bound vertex program has no code");
+        vp = it->second.program;
+    } else {
+        vp = _ffgen.vertexProgram(makeKey());
+    }
+
+    if (_fragmentProgramEnabled && _boundFragmentProgram) {
+        auto it = _programs.find(_boundFragmentProgram);
+        if (it == _programs.end() || !it->second.program)
+            fatal("Context: bound fragment program has no code");
+        fp = it->second.program;
+        if (_alphaTest.enabled &&
+            _alphaTest.func != emu::CompareFunc::Always) {
+            // Inject the alpha test (library modifies the program,
+            // paper §2.2/§4); cached per (program, func).
+            const auto cache_key = std::make_pair(
+                fp.get(), static_cast<u8>(_alphaTest.func));
+            auto cached = _injectedCache.find(cache_key);
+            if (cached == _injectedCache.end()) {
+                auto injected =
+                    FixedFunctionGenerator::injectAlphaTest(
+                        *fp, _alphaTest.func);
+                cached = _injectedCache
+                             .emplace(cache_key, injected)
+                             .first;
+            }
+            fp = cached->second;
+        }
+    } else {
+        fp = _ffgen.fragmentProgram(makeKey());
+    }
+
+    if (vp.get() != _loadedVertexProgram) {
+        _driver.loadVertexProgram(vp);
+        _loadedVertexProgram = vp.get();
+    }
+    if (fp.get() != _loadedFragmentProgram) {
+        _driver.loadFragmentProgram(fp);
+        _loadedFragmentProgram = fp.get();
+    }
+
+    emitFixedFunctionConstants();
+}
+
+void
+Context::emitFragmentState()
+{
+    _driver.writeReg(Reg::DepthTestEnable,
+                     RegValue(_depthTestEnabled ? 1u : 0u));
+    _driver.writeReg(Reg::DepthFunc,
+                     RegValue(static_cast<u32>(_zStencil.depthFunc)));
+    _driver.writeReg(Reg::DepthWriteMask,
+                     RegValue(_zStencil.depthWrite ? 1u : 0u));
+    _driver.writeReg(Reg::StencilTestEnable,
+                     RegValue(_stencilTestEnabled ? 1u : 0u));
+    _driver.writeReg(
+        Reg::StencilFunc,
+        RegValue(static_cast<u32>(_zStencil.stencilFunc)));
+    _driver.writeReg(Reg::StencilRef,
+                     RegValue(static_cast<u32>(_zStencil.stencilRef)));
+    _driver.writeReg(
+        Reg::StencilCompareMask,
+        RegValue(static_cast<u32>(_zStencil.stencilCompareMask)));
+    _driver.writeReg(
+        Reg::StencilWriteMask,
+        RegValue(static_cast<u32>(_zStencil.stencilWriteMask)));
+    _driver.writeReg(
+        Reg::StencilOpFail,
+        RegValue(static_cast<u32>(_zStencil.stencilFail)));
+    _driver.writeReg(
+        Reg::StencilOpZFail,
+        RegValue(static_cast<u32>(_zStencil.depthFail)));
+    _driver.writeReg(
+        Reg::StencilOpZPass,
+        RegValue(static_cast<u32>(_zStencil.depthPass)));
+    _driver.writeReg(Reg::StencilTwoSideEnable,
+                     RegValue(_stencilTwoSideEnabled ? 1u : 0u));
+    _driver.writeReg(
+        Reg::StencilBackFunc,
+        RegValue(static_cast<u32>(_zStencil.backFunc)));
+    _driver.writeReg(Reg::StencilBackRef,
+                     RegValue(static_cast<u32>(_zStencil.backRef)));
+    _driver.writeReg(
+        Reg::StencilBackCompareMask,
+        RegValue(static_cast<u32>(_zStencil.backCompareMask)));
+    _driver.writeReg(
+        Reg::StencilBackWriteMask,
+        RegValue(static_cast<u32>(_zStencil.backWriteMask)));
+    _driver.writeReg(
+        Reg::StencilBackOpFail,
+        RegValue(static_cast<u32>(_zStencil.backFail)));
+    _driver.writeReg(
+        Reg::StencilBackOpZFail,
+        RegValue(static_cast<u32>(_zStencil.backDepthFail)));
+    _driver.writeReg(
+        Reg::StencilBackOpZPass,
+        RegValue(static_cast<u32>(_zStencil.backDepthPass)));
+    _driver.writeReg(Reg::BlendEnable,
+                     RegValue(_blendEnabled ? 1u : 0u));
+    _driver.writeReg(
+        Reg::BlendEquation_,
+        RegValue(static_cast<u32>(_blend.equation)));
+    _driver.writeReg(Reg::BlendSrcFactor,
+                     RegValue(static_cast<u32>(_blend.srcFactor)));
+    _driver.writeReg(Reg::BlendDstFactor,
+                     RegValue(static_cast<u32>(_blend.dstFactor)));
+    _driver.writeReg(Reg::BlendConstantColor,
+                     RegValue(_blend.constantColor));
+    _driver.writeReg(Reg::ColorWriteMask,
+                     RegValue(static_cast<u32>(_blend.colorMask)));
+    _driver.writeReg(
+        Reg::CullMode_,
+        RegValue(static_cast<u32>(_cullEnabled
+                                      ? _cullMode
+                                      : gpu::CullMode::None)));
+    _driver.writeReg(Reg::FrontFaceCcw,
+                     RegValue(_frontCcw ? 1u : 0u));
+    _driver.writeReg(Reg::ScissorEnable,
+                     RegValue(_scissor.enabled ? 1u : 0u));
+    _driver.writeReg(Reg::ScissorX,
+                     RegValue(static_cast<u32>(_scissor.x)));
+    _driver.writeReg(Reg::ScissorY,
+                     RegValue(static_cast<u32>(_scissor.y)));
+    _driver.writeReg(Reg::ScissorWidth, RegValue(_scissor.width));
+    _driver.writeReg(Reg::ScissorHeight, RegValue(_scissor.height));
+}
+
+void
+Context::emitStreams()
+{
+    for (u32 a = 0; a < gpu::maxVertexStreams; ++a) {
+        const AttribArray& attr = _attribs[a];
+        if (!attr.enabled) {
+            _driver.writeReg(Reg::StreamEnable, RegValue(0u), a);
+            continue;
+        }
+        auto it = _buffers.find(attr.buffer);
+        if (it == _buffers.end() || !it->second.uploaded)
+            fatal("Context: attribute ", a,
+                  " references an unuploaded buffer");
+        _driver.writeReg(Reg::StreamEnable, RegValue(1u), a);
+        _driver.writeReg(Reg::StreamAddress,
+                         RegValue(it->second.gpuAddress +
+                                  attr.offset),
+                         a);
+        _driver.writeReg(Reg::StreamStride, RegValue(attr.stride),
+                         a);
+        _driver.writeReg(Reg::StreamFormat_,
+                         RegValue(static_cast<u32>(attr.format)),
+                         a);
+    }
+}
+
+void
+Context::draw(gpu::Primitive prim, u32 count, u32 first,
+              bool indexed, u32 index_buffer, u32 offset, bool wide)
+{
+    prepareTextures();
+    preparePrograms();
+    emitFrameState();
+    emitFragmentState();
+    emitStreams();
+
+    if (indexed) {
+        auto it = _buffers.find(index_buffer);
+        if (it == _buffers.end() || !it->second.uploaded)
+            fatal("Context: drawElements with an unuploaded index"
+                  " buffer");
+        _driver.writeReg(Reg::IndexEnable, RegValue(1u));
+        _driver.writeReg(Reg::IndexAddress,
+                         RegValue(it->second.gpuAddress + offset));
+        _driver.writeReg(Reg::IndexWide, RegValue(wide ? 1u : 0u));
+    } else {
+        _driver.writeReg(Reg::IndexEnable, RegValue(0u));
+    }
+
+    _driver.emit(Command::drawBatch(prim, count, first));
+    ++_drawCalls;
+}
+
+void
+Context::drawArrays(gpu::Primitive prim, u32 first, u32 count)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DrawArrays,
+                          {asScalar(prim),
+                           asScalar(first),
+                           asScalar(count)});
+    draw(prim, count, first, false, 0, 0, false);
+}
+
+void
+Context::drawElements(gpu::Primitive prim, u32 count,
+                      u32 index_buffer, u32 offset, bool wide)
+{
+    if (_recorder)
+        _recorder->record(TraceOp::DrawElements,
+                          {asScalar(prim),
+                           asScalar(count),
+                           asScalar(index_buffer),
+                           asScalar(offset),
+                           asScalar(wide)});
+    draw(prim, count, 0, true, index_buffer, offset, wide);
+}
+
+} // namespace attila::gl

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Context: the AGL library — ATTILA's OpenGL-flavoured API layer
+ * (paper §4).
+ *
+ * The library manages GL state (matrix stacks, lighting, texture
+ * environment, vertex arrays, buffer and texture objects, ARB-style
+ * programs) and translates draw calls into the low-level Command
+ * Processor command stream through the Driver.  The legacy
+ * fixed-function pipeline, alpha test and fog are implemented with
+ * driver-generated shader programs (no dedicated hardware units).
+ *
+ * API calls are recorded by an attached TraceRecorder (the
+ * GLInterceptor role) and can be replayed by the TracePlayer.
+ */
+
+#ifndef ATTILA_GL_CONTEXT_HH
+#define ATTILA_GL_CONTEXT_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "emu/matrix.hh"
+#include "gl/api_types.hh"
+#include "gl/driver.hh"
+#include "gl/fixed_function.hh"
+
+namespace attila::gl
+{
+
+class TraceRecorder;
+
+/** The AGL rendering context. */
+class Context
+{
+  public:
+    /**
+     * @param width / @param height framebuffer dimensions.
+     * @param memory_size GPU memory size (allocator bound).
+     */
+    Context(u32 width, u32 height, u32 memory_size = 64u << 20);
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    /** Drain the command stream produced so far. */
+    gpu::CommandList takeCommands();
+
+    /** Attach a recorder capturing every API call (may be null). */
+    void setRecorder(TraceRecorder* recorder)
+    {
+        _recorder = recorder;
+    }
+
+    u32 width() const { return _width; }
+    u32 height() const { return _height; }
+
+    // ===== Frame ===================================================
+    void clearColor(f32 r, f32 g, f32 b, f32 a);
+    void clearDepth(f32 depth);
+    void clearStencil(u8 stencil);
+    void clear(u32 mask); ///< clearColorBit | clearDepthBit | ...
+    void swapBuffers();
+    void viewport(s32 x, s32 y, u32 w, u32 h);
+
+    // ===== Capabilities ============================================
+    void enable(Cap cap);
+    void disable(Cap cap);
+    bool isEnabled(Cap cap) const;
+
+    // ===== Per-fragment state ======================================
+    void depthFunc(emu::CompareFunc func);
+    void depthMask(bool write);
+    void stencilFunc(emu::CompareFunc func, u8 ref, u8 mask);
+    void stencilOp(emu::StencilOp fail, emu::StencilOp zfail,
+                   emu::StencilOp zpass);
+    void stencilMask(u8 mask);
+    /** Back-face stencil state (with Cap::StencilTwoSide). */
+    void stencilFuncBack(emu::CompareFunc func, u8 ref, u8 mask);
+    void stencilOpBack(emu::StencilOp fail, emu::StencilOp zfail,
+                       emu::StencilOp zpass);
+    void blendFunc(emu::BlendFactor src, emu::BlendFactor dst);
+    void blendEquation(emu::BlendEquation eq);
+    void blendColor(f32 r, f32 g, f32 b, f32 a);
+    void colorMask(bool r, bool g, bool b, bool a);
+    void alphaFunc(emu::CompareFunc func, f32 ref);
+    void scissor(s32 x, s32 y, u32 w, u32 h);
+
+    // ===== Geometry state ==========================================
+    void cullFace(gpu::CullMode mode);
+    void frontFaceCcw(bool ccw);
+
+    // ===== Matrices (fixed function) ===============================
+    void matrixMode(MatrixMode mode);
+    void loadIdentity();
+    void loadMatrix(const emu::Mat4& m);
+    void multMatrix(const emu::Mat4& m);
+    void pushMatrix();
+    void popMatrix();
+    void translate(f32 x, f32 y, f32 z);
+    void rotate(f32 degrees, f32 x, f32 y, f32 z);
+    void scale(f32 x, f32 y, f32 z);
+    void frustum(f32 l, f32 r, f32 b, f32 t, f32 n, f32 f);
+    void ortho(f32 l, f32 r, f32 b, f32 t, f32 n, f32 f);
+    void perspective(f32 fovy_degrees, f32 aspect, f32 n, f32 f);
+    void lookAt(const emu::Vec4& eye, const emu::Vec4& center,
+                const emu::Vec4& up);
+
+    // ===== Fixed-function lighting / fog / current color ==========
+    void light(u32 index, const LightState& state);
+    void material(const MaterialState& state);
+    void sceneAmbient(f32 r, f32 g, f32 b, f32 a);
+    void fog(const FogState& state);
+    void color(f32 r, f32 g, f32 b, f32 a); ///< Current color.
+
+    // ===== Buffer objects ==========================================
+    u32 genBuffer();
+    void bufferData(u32 buffer, std::vector<u8> data);
+    void deleteBuffer(u32 buffer);
+
+    // ===== Vertex arrays ===========================================
+    /** Bind attribute @p attr to @p buffer at @p offset. */
+    void attribPointer(u32 attr, u32 buffer,
+                       gpu::StreamFormat format, u32 stride,
+                       u32 offset);
+    void disableAttrib(u32 attr);
+    // Legacy names.
+    void vertexPointer(u32 buffer, gpu::StreamFormat format,
+                       u32 stride, u32 offset);
+    void normalPointer(u32 buffer, u32 stride, u32 offset);
+    void colorPointer(u32 buffer, gpu::StreamFormat format,
+                      u32 stride, u32 offset);
+    void texCoordPointer(u32 unit, u32 buffer,
+                         gpu::StreamFormat format, u32 stride,
+                         u32 offset);
+
+    // ===== Textures ================================================
+    u32 genTexture();
+    void bindTexture(u32 texture); ///< To the active unit.
+    void activeTexture(u32 unit);
+    void texImage2D(u32 level, emu::TexFormat format, u32 w, u32 h,
+                    std::vector<u8> data);
+    void texImageCube(u32 face, u32 level, emu::TexFormat format,
+                      u32 w, u32 h, std::vector<u8> data);
+    void texFilter(emu::MinFilter min_filter, bool mag_linear);
+    void texWrap(emu::WrapMode s, emu::WrapMode t);
+    void texMaxAnisotropy(u32 samples);
+    void generateMipmaps();
+    void texEnv(TexEnvMode mode);
+    void deleteTexture(u32 texture);
+
+    // ===== ARB-style programs ======================================
+    u32 genProgram();
+    void programString(u32 program, const std::string& source);
+    void bindProgramVertex(u32 program);
+    void bindProgramFragment(u32 program);
+    void programEnvParam(emu::ShaderTarget target, u32 index,
+                         const emu::Vec4& value);
+    void programLocalParam(emu::ShaderTarget target, u32 index,
+                           const emu::Vec4& value);
+
+    // ===== Draw ====================================================
+    void drawArrays(gpu::Primitive prim, u32 first, u32 count);
+    /** Indexed draw; @p wide selects 32-bit indices. */
+    void drawElements(gpu::Primitive prim, u32 count,
+                      u32 index_buffer, u32 offset, bool wide);
+
+    // ===== Statistics ==============================================
+    u32 drawCallCount() const { return _drawCalls; }
+    u32 frameCount() const { return _frames; }
+
+  private:
+    struct BufferObject
+    {
+        std::vector<u8> data;
+        u32 gpuAddress = 0;
+        u32 gpuSize = 0;
+        bool uploaded = false;
+    };
+
+    struct TextureObject
+    {
+        emu::TextureDescriptor desc;
+        /** CPU-side mips [face][level], tightly packed. */
+        std::array<std::array<std::vector<u8>, emu::maxMipLevels>,
+                   6>
+            cpu;
+        bool dirty = true;
+        bool allocated = false;
+        u32 gpuBase = 0;
+        u64 version = 0;
+    };
+
+    struct ProgramObject
+    {
+        std::string source;
+        emu::ShaderProgramPtr program;
+    };
+
+    struct AttribArray
+    {
+        bool enabled = false;
+        u32 buffer = 0;
+        gpu::StreamFormat format = gpu::StreamFormat::Float4;
+        u32 stride = 0;
+        u32 offset = 0;
+    };
+
+    emu::Mat4& currentMatrix();
+    void emitFrameState();
+    void emitFragmentState();
+    void prepareTextures();
+    void preparePrograms();
+    void emitStreams();
+    void emitFixedFunctionConstants();
+    void draw(gpu::Primitive prim, u32 count, u32 first,
+              bool indexed, u32 index_buffer, u32 offset, bool wide);
+    FixedFunctionKey makeKey() const;
+    void uploadTexture(u32 unit, TextureObject& tex);
+
+    u32 _width;
+    u32 _height;
+    Driver _driver;
+    FixedFunctionGenerator _ffgen;
+    TraceRecorder* _recorder = nullptr;
+
+    // Framebuffer placement.
+    u32 _colorAddress = 0;
+    u32 _zStencilAddress = 0;
+
+    // State.
+    emu::Vec4 _clearColor;
+    f32 _clearDepth = 1.0f;
+    u8 _clearStencil = 0;
+    emu::Viewport _viewport;
+    gpu::ScissorState _scissor;
+    emu::ZStencilState _zStencil;
+    bool _depthTestEnabled = false;
+    bool _stencilTestEnabled = false;
+    bool _stencilTwoSideEnabled = false;
+    emu::BlendState _blend;
+    bool _blendEnabled = false;
+    bool _cullEnabled = false;
+    gpu::CullMode _cullMode = gpu::CullMode::Back;
+    bool _frontCcw = true;
+    AlphaTestState _alphaTest;
+    FogState _fog;
+    bool _lightingEnabled = false;
+    std::array<LightState, maxLights> _lights{};
+    MaterialState _material;
+    emu::Vec4 _sceneAmbient{0.2f, 0.2f, 0.2f, 1.0f};
+    emu::Vec4 _currentColor{1.0f, 1.0f, 1.0f, 1.0f};
+
+    MatrixMode _matrixMode = MatrixMode::ModelView;
+    std::vector<emu::Mat4> _modelViewStack{emu::Mat4::identity()};
+    std::vector<emu::Mat4> _projectionStack{emu::Mat4::identity()};
+
+    std::map<u32, BufferObject> _buffers;
+    std::map<u32, TextureObject> _textures;
+    std::map<u32, ProgramObject> _programs;
+    u32 _nextObjectId = 1;
+
+    std::array<AttribArray, gpu::maxVertexStreams> _attribs{};
+    std::array<u32, gpu::maxTextureUnits> _boundTexture{};
+    std::array<bool, gpu::maxTextureUnits> _texEnabled{};
+    std::array<TexEnvMode, gpu::maxTextureUnits> _texEnvMode{};
+    u32 _activeUnit = 0;
+
+    bool _vertexProgramEnabled = false;
+    bool _fragmentProgramEnabled = false;
+    u32 _boundVertexProgram = 0;
+    u32 _boundFragmentProgram = 0;
+
+    /** Last programs sent to the Command Processor. */
+    const emu::ShaderProgram* _loadedVertexProgram = nullptr;
+    const emu::ShaderProgram* _loadedFragmentProgram = nullptr;
+    /** Cached alpha-test-injected user fragment programs. */
+    std::map<std::pair<const emu::ShaderProgram*, u8>,
+             emu::ShaderProgramPtr>
+        _injectedCache;
+    /** Texture descriptor versions last emitted per unit. */
+    std::array<u64, gpu::maxTextureUnits> _emittedTexVersion{};
+    std::array<u32, gpu::maxTextureUnits> _emittedTexture{};
+    u64 _textureVersionCounter = 1;
+
+    u32 _drawCalls = 0;
+    u32 _frames = 0;
+};
+
+} // namespace attila::gl
+
+#endif // ATTILA_GL_CONTEXT_HH

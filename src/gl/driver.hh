@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Driver: the lower layer of the OpenGL framework (paper §4).
+ *
+ * Offers basic services to the library layer: GPU memory allocation
+ * (the MemoryObject abstraction), register writes, command emission,
+ * and the device-layout tiling of texture uploads.  The library
+ * manages GL state; the driver turns it into Command Processor
+ * commands.
+ */
+
+#ifndef ATTILA_GL_DRIVER_HH
+#define ATTILA_GL_DRIVER_HH
+
+#include <list>
+#include <vector>
+
+#include "emu/texture_emulator.hh"
+#include "gpu/commands.hh"
+
+namespace attila::gl
+{
+
+/**
+ * First-fit GPU memory allocator.  The MemoryObject abstraction of
+ * the paper: the library allocates, synchronizes and deallocates
+ * objects without caring about placement.
+ */
+class GpuMemoryAllocator
+{
+  public:
+    /**
+     * @param base First allocatable byte (below lives the
+     *             framebuffer arena).
+     * @param size Total allocatable bytes.
+     */
+    GpuMemoryAllocator(u32 base, u32 size);
+
+    /** Allocate @p bytes (256-byte aligned); throws FatalError when
+     * exhausted. */
+    u32 allocate(u32 bytes);
+
+    /** Release a prior allocation. */
+    void release(u32 address);
+
+    /** Bytes currently allocated. */
+    u32 allocated() const { return _allocated; }
+
+  private:
+    struct Block
+    {
+        u32 address;
+        u32 size;
+        bool free;
+    };
+
+    std::list<Block> _blocks;
+    u32 _allocated = 0;
+};
+
+/** The driver: command emission services for the library layer. */
+class Driver
+{
+  public:
+    /**
+     * @param memory_size GPU memory size (for allocator bounds).
+     * @param fb_bytes Bytes reserved at address 0 for framebuffers.
+     */
+    Driver(u32 memory_size, u32 fb_bytes);
+
+    /** Pending command stream (drained by the library). */
+    gpu::CommandList takeCommands();
+
+    // --- Basic services --------------------------------------------
+    void
+    writeReg(gpu::Reg reg, const gpu::RegValue& value, u32 index = 0)
+    {
+        _commands.push_back(gpu::Command::writeReg(reg, value,
+                                                   index));
+    }
+
+    void
+    writeBuffer(u32 address, std::vector<u8> bytes)
+    {
+        _commands.push_back(
+            gpu::Command::writeBuffer(address, std::move(bytes)));
+    }
+
+    void
+    loadVertexProgram(emu::ShaderProgramPtr prog)
+    {
+        _commands.push_back(
+            gpu::Command::loadVertexProgram(std::move(prog)));
+    }
+
+    void
+    loadFragmentProgram(emu::ShaderProgramPtr prog)
+    {
+        _commands.push_back(
+            gpu::Command::loadFragmentProgram(std::move(prog)));
+    }
+
+    void
+    emit(gpu::Command cmd)
+    {
+        _commands.push_back(std::move(cmd));
+    }
+
+    GpuMemoryAllocator& allocator() { return _allocator; }
+
+    /**
+     * Convert a tightly-packed CPU mip image into the device tiled
+     * layout (8x8-texel tiles; DXT blocks are stored row-major on
+     * both sides).
+     */
+    static std::vector<u8> tileMipImage(emu::TexFormat format,
+                                        u32 width, u32 height,
+                                        const u8* src);
+
+    /**
+     * Emit the texture descriptor registers of @p desc for texture
+     * unit @p unit.
+     */
+    void emitTextureDescriptor(u32 unit,
+                               const emu::TextureDescriptor& desc);
+
+  private:
+    gpu::CommandList _commands;
+    GpuMemoryAllocator _allocator;
+};
+
+} // namespace attila::gl
+
+#endif // ATTILA_GL_DRIVER_HH

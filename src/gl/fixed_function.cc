@@ -1,0 +1,380 @@
+#include "gl/fixed_function.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace attila::gl
+{
+
+using emu::CompareFunc;
+
+std::string
+FixedFunctionKey::cacheKey() const
+{
+    std::ostringstream os;
+    os << lighting << '.' << u32(lightMask) << '.' << colorFromArray
+       << '.' << u32(textureMask) << '.';
+    for (TexEnvMode m : envModes)
+        os << u32(m);
+    os << '.' << alphaTest << u32(alphaFunc) << '.' << fog
+       << u32(fogMode);
+    return os.str();
+}
+
+std::string
+FixedFunctionGenerator::vertexSource(const FixedFunctionKey& key)
+{
+    std::ostringstream os;
+    os << "!!ARBvp1.0\n";
+    os << "# generated fixed-function vertex program\n";
+    os << "DP4 result.position.x, program.env[" << envMvpRow0
+       << "], vertex.position;\n";
+    os << "DP4 result.position.y, program.env[" << envMvpRow0 + 1
+       << "], vertex.position;\n";
+    os << "DP4 result.position.z, program.env[" << envMvpRow0 + 2
+       << "], vertex.position;\n";
+    os << "DP4 result.position.w, program.env[" << envMvpRow0 + 3
+       << "], vertex.position;\n";
+
+    if (key.lighting) {
+        os << "TEMP nrm, col, ndl;\n";
+        // Eye-space normal (rigid modelview assumed).
+        for (u32 i = 0; i < 3; ++i) {
+            os << "DP3 nrm." << "xyz"[i] << ", program.env["
+               << envModelViewRow0 + i << "], vertex.normal;\n";
+        }
+        os << "MOV col, program.env[" << envAmbient << "];\n";
+        for (u32 l = 0; l < maxLights; ++l) {
+            if (!(key.lightMask & (1u << l)))
+                continue;
+            os << "DP3 ndl.x, nrm, program.env["
+               << envLightBase + 2 * l << "];\n";
+            os << "MAX ndl.x, ndl.x, 0;\n";
+            os << "MAD col, ndl.x, program.env["
+               << envLightBase + 2 * l + 1 << "], col;\n";
+        }
+        os << "MOV col.w, program.env[" << envMaterialDiffuse
+           << "].w;\n";
+        os << "MOV_SAT result.color, col;\n";
+    } else if (key.colorFromArray) {
+        os << "MOV result.color, vertex.color;\n";
+    } else {
+        os << "MOV result.color, program.env[" << envCurrentColor
+           << "];\n";
+    }
+
+    for (u32 u = 0; u < 4; ++u) {
+        if (key.textureMask & (1u << u)) {
+            os << "MOV result.texcoord[" << u
+               << "], vertex.texcoord[" << u << "];\n";
+        }
+    }
+
+    if (key.fog) {
+        // Fog coordinate: eye-space distance approximated by the
+        // negated eye-space z (OpenGL's common implementation).
+        os << "TEMP eyez;\n";
+        os << "DP4 eyez.x, program.env[" << envModelViewRow0 + 2
+           << "], vertex.position;\n";
+        os << "MOV result.fogcoord.x, -eyez.x;\n";
+    }
+
+    os << "END\n";
+    return os.str();
+}
+
+std::string
+FixedFunctionGenerator::fragmentSource(const FixedFunctionKey& key)
+{
+    std::ostringstream os;
+    os << "!!ARBfp1.0\n";
+    os << "# generated fixed-function fragment program\n";
+    os << "TEMP col, tex, t;\n";
+    os << "MOV col, fragment.color;\n";
+
+    for (u32 u = 0; u < 4; ++u) {
+        if (!(key.textureMask & (1u << u)))
+            continue;
+        os << "TEX tex, fragment.texcoord[" << u << "], texture["
+           << u << "], 2D;\n";
+        switch (key.envModes[u]) {
+          case TexEnvMode::Modulate:
+            os << "MUL col, col, tex;\n";
+            break;
+          case TexEnvMode::Replace:
+            os << "MOV col, tex;\n";
+            break;
+          case TexEnvMode::Decal:
+            os << "LRP col.xyz, tex.w, tex, col;\n";
+            break;
+          case TexEnvMode::Add:
+            os << "ADD col.xyz, col, tex;\n";
+            break;
+        }
+    }
+
+    if (key.alphaTest && key.alphaFunc != CompareFunc::Always) {
+        // Pass flag p in t.x; kill when p - 0.5 < 0.
+        const std::string ref =
+            "program.env[" + std::to_string(envAlphaRef) + "]";
+        switch (key.alphaFunc) {
+          case CompareFunc::Never:
+            os << "MOV t.x, -" << ref << ".z;\nKIL t.x;\n";
+            break;
+          case CompareFunc::Less:
+            os << "SLT t.x, col.w, " << ref << ".x;\n";
+            break;
+          case CompareFunc::LessEqual:
+            os << "SGE t.x, " << ref << ".x, col.w;\n";
+            break;
+          case CompareFunc::Greater:
+            os << "SLT t.x, " << ref << ".x, col.w;\n";
+            break;
+          case CompareFunc::GreaterEqual:
+            os << "SGE t.x, col.w, " << ref << ".x;\n";
+            break;
+          case CompareFunc::Equal:
+            os << "SGE t.x, col.w, " << ref << ".x;\n"
+               << "SGE t.y, " << ref << ".x, col.w;\n"
+               << "MUL t.x, t.x, t.y;\n";
+            break;
+          case CompareFunc::NotEqual:
+            os << "SGE t.x, col.w, " << ref << ".x;\n"
+               << "SGE t.y, " << ref << ".x, col.w;\n"
+               << "MUL t.x, t.x, t.y;\n"
+               << "SUB t.x, " << ref << ".z, t.x;\n";
+            break;
+          default:
+            break;
+        }
+        if (key.alphaFunc != CompareFunc::Never) {
+            os << "SUB t.x, t.x, " << ref << ".y;\n";
+            os << "KIL t.x;\n";
+        }
+    }
+
+    if (key.fog) {
+        const std::string fp =
+            "program.env[" + std::to_string(envFogParams) + "]";
+        const std::string fc =
+            "program.env[" + std::to_string(envFogColor) + "]";
+        os << "TEMP fogf;\n";
+        switch (key.fogMode) {
+          case FogMode::Linear:
+            // f = end*scale - d*scale.
+            os << "MAD fogf.x, -fragment.fogcoord.x, " << fp
+               << ".x, " << fp << ".y;\n";
+            break;
+          case FogMode::Exp:
+            // f = 2^(-d * density * log2 e).
+            os << "MUL fogf.x, fragment.fogcoord.x, " << fp
+               << ".z;\n";
+            os << "EX2 fogf.x, -fogf.x;\n";
+            break;
+          case FogMode::Exp2:
+            // f = 2^(-(d * density)^2 * log2 e).
+            os << "MUL fogf.x, fragment.fogcoord.x, " << fp
+               << ".w;\n";
+            os << "MUL fogf.x, fogf.x, fogf.x;\n";
+            os << "MUL fogf.x, fogf.x, 1.442695;\n";
+            os << "EX2 fogf.x, -fogf.x;\n";
+            break;
+        }
+        os << "MOV_SAT fogf.x, fogf.x;\n";
+        os << "LRP col.xyz, fogf.x, col, " << fc << ";\n";
+    }
+
+    os << "MOV result.color, col;\n";
+    os << "END\n";
+    return os.str();
+}
+
+emu::ShaderProgramPtr
+FixedFunctionGenerator::vertexProgram(const FixedFunctionKey& key)
+{
+    const std::string cache_key = key.cacheKey();
+    auto it = _vertexCache.find(cache_key);
+    if (it != _vertexCache.end())
+        return it->second;
+    auto prog = _assembler.assemble(vertexSource(key));
+    _vertexCache.emplace(cache_key, prog);
+    return prog;
+}
+
+emu::ShaderProgramPtr
+FixedFunctionGenerator::fragmentProgram(const FixedFunctionKey& key)
+{
+    const std::string cache_key = key.cacheKey();
+    auto it = _fragmentCache.find(cache_key);
+    if (it != _fragmentCache.end())
+        return it->second;
+    auto prog = _assembler.assemble(fragmentSource(key));
+    _fragmentCache.emplace(cache_key, prog);
+    return prog;
+}
+
+namespace
+{
+
+emu::Instruction
+makeIns(emu::Opcode op)
+{
+    emu::Instruction ins;
+    ins.op = op;
+    return ins;
+}
+
+emu::SrcOperand
+tempSrc(u32 index, char component = 0)
+{
+    emu::SrcOperand src;
+    src.bank = emu::Bank::Temp;
+    src.index = static_cast<u8>(index);
+    if (component) {
+        const u8 c = component == 'x' ? 0
+                     : component == 'y' ? 1
+                     : component == 'z' ? 2 : 3;
+        src.swizzle = {c, c, c, c};
+    }
+    return src;
+}
+
+emu::SrcOperand
+paramSrc(u32 index, char component)
+{
+    emu::SrcOperand src;
+    src.bank = emu::Bank::Param;
+    src.index = static_cast<u8>(index);
+    const u8 c = component == 'x' ? 0
+                 : component == 'y' ? 1
+                 : component == 'z' ? 2 : 3;
+    src.swizzle = {c, c, c, c};
+    return src;
+}
+
+emu::DstOperand
+tempDst(u32 index, u8 mask = 0xf)
+{
+    emu::DstOperand dst;
+    dst.bank = emu::Bank::Temp;
+    dst.index = static_cast<u8>(index);
+    dst.writeMask = mask;
+    return dst;
+}
+
+} // anonymous namespace
+
+emu::ShaderProgramPtr
+FixedFunctionGenerator::injectAlphaTest(
+    const emu::ShaderProgram& program, emu::CompareFunc func)
+{
+    using emu::Opcode;
+
+    auto out = std::make_shared<emu::ShaderProgram>(program);
+    if (func == CompareFunc::Always)
+        return out;
+
+    if (program.numTemps + 2 > emu::regix::numTempRegs) {
+        fatal("alpha test injection: fragment program uses too many"
+              " temporaries");
+    }
+    const u32 colTemp = program.numTemps;
+    const u32 flagTemp = program.numTemps + 1;
+
+    // Reroute result.color writes through a temporary.
+    for (emu::Instruction& ins : out->code) {
+        if (emu::opcodeInfo(ins.op).hasDst &&
+            ins.dst.bank == emu::Bank::Output &&
+            ins.dst.index == emu::regix::foutColor) {
+            ins.dst.bank = emu::Bank::Temp;
+            ins.dst.index = static_cast<u8>(colTemp);
+        }
+    }
+
+    // Build the test sequence before END.
+    std::vector<emu::Instruction> tail;
+    const u32 refSlot = envAlphaRef;
+    auto alpha = tempSrc(colTemp, 'w');
+    auto ref = paramSrc(refSlot, 'x');
+    auto half = paramSrc(refSlot, 'y');
+    auto one = paramSrc(refSlot, 'z');
+
+    auto push2 = [&](Opcode op, const emu::SrcOperand& a,
+                     const emu::SrcOperand& b, u8 mask) {
+        emu::Instruction ins = makeIns(op);
+        ins.dst = tempDst(flagTemp, mask);
+        ins.src[0] = a;
+        ins.src[1] = b;
+        tail.push_back(ins);
+    };
+
+    bool needKilOnFlag = true;
+    switch (func) {
+      case CompareFunc::Never: {
+        emu::Instruction kil = makeIns(Opcode::KIL);
+        emu::SrcOperand neg = one;
+        neg.negate = true;
+        kil.src[0] = neg;
+        tail.push_back(kil);
+        needKilOnFlag = false;
+        break;
+      }
+      case CompareFunc::Less:
+        push2(Opcode::SLT, alpha, ref, 0x1);
+        break;
+      case CompareFunc::LessEqual:
+        push2(Opcode::SGE, ref, alpha, 0x1);
+        break;
+      case CompareFunc::Greater:
+        push2(Opcode::SLT, ref, alpha, 0x1);
+        break;
+      case CompareFunc::GreaterEqual:
+        push2(Opcode::SGE, alpha, ref, 0x1);
+        break;
+      case CompareFunc::Equal:
+        push2(Opcode::SGE, alpha, ref, 0x1);
+        push2(Opcode::SGE, ref, alpha, 0x2);
+        push2(Opcode::MUL, tempSrc(flagTemp, 'x'),
+              tempSrc(flagTemp, 'y'), 0x1);
+        break;
+      case CompareFunc::NotEqual:
+        push2(Opcode::SGE, alpha, ref, 0x1);
+        push2(Opcode::SGE, ref, alpha, 0x2);
+        push2(Opcode::MUL, tempSrc(flagTemp, 'x'),
+              tempSrc(flagTemp, 'y'), 0x1);
+        push2(Opcode::SUB, one, tempSrc(flagTemp, 'x'), 0x1);
+        break;
+      default:
+        break;
+    }
+
+    if (needKilOnFlag) {
+        push2(Opcode::SUB, tempSrc(flagTemp, 'x'), half, 0x1);
+        emu::Instruction kil = makeIns(Opcode::KIL);
+        kil.src[0] = tempSrc(flagTemp, 'x');
+        tail.push_back(kil);
+    }
+
+    // MOV result.color, colTemp.
+    emu::Instruction mov = makeIns(Opcode::MOV);
+    mov.dst.bank = emu::Bank::Output;
+    mov.dst.index = emu::regix::foutColor;
+    mov.src[0] = tempSrc(colTemp);
+    tail.push_back(mov);
+
+    // Splice before END.
+    if (out->code.empty() ||
+        out->code.back().op != Opcode::END) {
+        fatal("alpha test injection: program has no END");
+    }
+    out->code.pop_back();
+    for (const auto& ins : tail)
+        out->code.push_back(ins);
+    out->code.push_back(makeIns(Opcode::END));
+
+    emu::analyzeProgram(*out);
+    return out;
+}
+
+} // namespace attila::gl

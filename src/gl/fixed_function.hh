@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fixed-function pipeline emulation through driver-generated shader
+ * programs (paper §4, partly based on Igesund & Stavang).
+ *
+ * ATTILA has no fixed-function transform/lighting or texture-combine
+ * hardware, and no alpha test or fog units either (paper §2.2): the
+ * library synthesizes ARB-style programs implementing the requested
+ * legacy state, and *injects* alpha test (KIL-based) into
+ * user-provided fragment programs when the API enables it.
+ *
+ * Reserved constant (program.env) conventions:
+ *   env[0..3]   MVP matrix rows
+ *   env[4..7]   modelview matrix rows
+ *   env[8+2i]   light i direction (eye space, normalized, to light)
+ *   env[9+2i]   light i diffuse * material diffuse
+ *   env[16]     accumulated ambient (scene+lights) * material
+ *   env[17]     material diffuse (alpha source)
+ *   env[18]     current color (no color array)
+ *   env[125]    fog parameters (scale, end*scale, density*log2e,
+ *               density)
+ *   env[126]    fog color
+ *   env[127]    (alphaRef, 0.5, 1.0, 0)
+ */
+
+#ifndef ATTILA_GL_FIXED_FUNCTION_HH
+#define ATTILA_GL_FIXED_FUNCTION_HH
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "emu/shader_isa.hh"
+#include "gl/api_types.hh"
+
+namespace attila::gl
+{
+
+/** Reserved env slots. */
+constexpr u32 envMvpRow0 = 0;
+constexpr u32 envModelViewRow0 = 4;
+constexpr u32 envLightBase = 8;
+constexpr u32 envAmbient = 16;
+constexpr u32 envMaterialDiffuse = 17;
+constexpr u32 envCurrentColor = 18;
+constexpr u32 envFogParams = 125;
+constexpr u32 envFogColor = 126;
+constexpr u32 envAlphaRef = 127;
+
+/** Fixed-function state relevant to program generation. */
+struct FixedFunctionKey
+{
+    bool lighting = false;
+    u8 lightMask = 0;     ///< Enabled lights (bit per light).
+    bool colorFromArray = true;
+    u8 textureMask = 0;   ///< Enabled texture units (0..3).
+    std::array<TexEnvMode, 4> envModes{};
+    bool alphaTest = false;
+    emu::CompareFunc alphaFunc = emu::CompareFunc::Always;
+    bool fog = false;
+    FogMode fogMode = FogMode::Linear;
+
+    std::string cacheKey() const;
+};
+
+/** Generates and caches fixed-function shader programs. */
+class FixedFunctionGenerator
+{
+  public:
+    /** The vertex program implementing @p key. */
+    emu::ShaderProgramPtr vertexProgram(const FixedFunctionKey& key);
+
+    /** The fragment program implementing @p key. */
+    emu::ShaderProgramPtr
+    fragmentProgram(const FixedFunctionKey& key);
+
+    /**
+     * Clone @p program with a KIL-based alpha test appended
+     * (and result.color rerouted through a temporary).  The test
+     * reads its reference from env[127].x.
+     */
+    static emu::ShaderProgramPtr injectAlphaTest(
+        const emu::ShaderProgram& program, emu::CompareFunc func);
+
+    /** Generated program source (for tests / debugging). */
+    static std::string vertexSource(const FixedFunctionKey& key);
+    static std::string fragmentSource(const FixedFunctionKey& key);
+
+  private:
+    std::map<std::string, emu::ShaderProgramPtr> _vertexCache;
+    std::map<std::string, emu::ShaderProgramPtr> _fragmentCache;
+    emu::ShaderAssembler _assembler;
+};
+
+} // namespace attila::gl
+
+#endif // ATTILA_GL_FIXED_FUNCTION_HH

@@ -1,0 +1,302 @@
+#include "gpu/cache.hh"
+
+#include <algorithm>
+
+namespace attila::gpu
+{
+
+FbCache::FbCache(std::string name, const Config& config,
+                 sim::Statistic& hits, sim::Statistic& misses,
+                 LineBacking* backing)
+    : _name(std::move(name)),
+      _config(config),
+      _backing(backing ? backing : &_defaultBacking),
+      _hits(hits),
+      _misses(misses)
+{
+    const u32 lines = (_config.sizeKB * 1024) / _config.lineBytes;
+    if (lines == 0 || _config.ways == 0 ||
+        lines % _config.ways != 0) {
+        fatal("cache '", _name, "': bad geometry (", lines,
+              " lines, ", _config.ways, " ways)");
+    }
+    _sets = lines / _config.ways;
+    _lines.resize(lines);
+    for (Line& line : _lines)
+        line.data.resize(_config.lineBytes, 0);
+    _backing->setLineBytes(_config.lineBytes);
+    _defaultBacking.setLineBytes(_config.lineBytes);
+}
+
+u32
+FbCache::setOf(u32 lineAddr) const
+{
+    return (lineAddr / _config.lineBytes) % _sets;
+}
+
+FbCache::Line*
+FbCache::findLine(u32 lineAddr)
+{
+    const u32 set = setOf(lineAddr);
+    for (u32 w = 0; w < _config.ways; ++w) {
+        Line& line = _lines[set * _config.ways + w];
+        if (line.state != LineState::Invalid &&
+            line.addr == lineAddr) {
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+s32
+FbCache::pickVictim(u32 set)
+{
+    s32 best = -1;
+    u64 bestUse = ~0ull;
+    for (u32 w = 0; w < _config.ways; ++w) {
+        const u32 idx = set * _config.ways + w;
+        const Line& line = _lines[idx];
+        if (line.state == LineState::Filling)
+            continue;
+        if (line.state == LineState::Invalid)
+            return static_cast<s32>(idx);
+        if (line.lastUse < bestUse) {
+            bestUse = line.lastUse;
+            best = static_cast<s32>(idx);
+        }
+    }
+    return best;
+}
+
+bool
+FbCache::fillPendingFor(u32 lineAddr) const
+{
+    for (const PendingFill& fill : _fills) {
+        if (fill.addr == lineAddr)
+            return true;
+    }
+    return false;
+}
+
+CacheAccess
+FbCache::access(Cycle cycle, u32 addr, bool forWrite)
+{
+    if (cycle != _currentCycle) {
+        _currentCycle = cycle;
+        _accessesThisCycle = 0;
+    }
+    if (_accessesThisCycle >= _config.ports)
+        return CacheAccess::Blocked;
+
+    const u32 lineAddr = addr - addr % _config.lineBytes;
+    if (Line* line = findLine(lineAddr)) {
+        if (line->state == LineState::Filling)
+            return CacheAccess::Miss; // Fill under way.
+        ++_accessesThisCycle;
+        line->lastUse = ++_useCounter;
+        if (forWrite)
+            line->dirty = true;
+        _hits.inc();
+        return CacheAccess::Hit;
+    }
+
+    if (fillPendingFor(lineAddr))
+        return CacheAccess::Miss;
+
+    if (_fills.size() >= _config.maxOutstanding)
+        return CacheAccess::Blocked;
+
+    const u32 set = setOf(lineAddr);
+    const s32 victimIdx = pickVictim(set);
+    if (victimIdx < 0)
+        return CacheAccess::Blocked;
+
+    Line& victim = _lines[victimIdx];
+    if (victim.state == LineState::Valid && victim.dirty) {
+        PendingWriteback wb;
+        wb.addr = victim.addr;
+        wb.bytes.resize(_config.lineBytes);
+        const u32 size = _backing->writeback(victim.addr,
+                                             victim.data.data(),
+                                             wb.bytes.data());
+        wb.bytes.resize(size);
+        _writebacks.push_back(std::move(wb));
+    }
+
+    victim.state = LineState::Filling;
+    victim.dirty = false;
+    victim.addr = lineAddr;
+    victim.lastUse = ++_useCounter;
+
+    PendingFill fill;
+    fill.lineIndex = static_cast<u32>(victimIdx);
+    fill.addr = lineAddr;
+    fill.localOnly = _backing->fillSize(lineAddr) == 0;
+    _fills.push_back(fill);
+    _misses.inc();
+    return CacheAccess::Miss;
+}
+
+u8*
+FbCache::wordPtr(u32 addr)
+{
+    const u32 lineAddr = addr - addr % _config.lineBytes;
+    Line* line = findLine(lineAddr);
+    if (!line || line->state != LineState::Valid)
+        panic("cache '", _name, "': wordPtr on a non-resident line");
+    return line->data.data() + (addr - lineAddr);
+}
+
+void
+FbCache::markDirty(u32 addr)
+{
+    const u32 lineAddr = addr - addr % _config.lineBytes;
+    Line* line = findLine(lineAddr);
+    if (!line || line->state != LineState::Valid)
+        panic("cache '", _name,
+              "': markDirty on a non-resident line");
+    line->dirty = true;
+}
+
+void
+FbCache::clock(Cycle cycle, MemPort& port, MemClient client)
+{
+    // Service local (no memory traffic) fills immediately.
+    for (auto it = _fills.begin(); it != _fills.end();) {
+        if (it->localOnly) {
+            Line& line = _lines[it->lineIndex];
+            _backing->fillLocal(it->addr, line.data.data());
+            line.state = LineState::Valid;
+            it = _fills.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Issue writebacks first (they free memory ordering hazards:
+    // a fill of the same line must see the written data).
+    for (PendingWriteback& wb : _writebacks) {
+        if (wb.issued)
+            continue;
+        if (!port.canRequest(cycle))
+            break;
+        auto txn = std::make_shared<MemTransaction>();
+        txn->isRead = false;
+        txn->address = wb.addr;
+        txn->size = static_cast<u32>(wb.bytes.size());
+        txn->data = wb.bytes;
+        txn->client = client;
+        txn->tag = (static_cast<u64>(wb.addr) << 1) | 1;
+        port.request(cycle, txn);
+        wb.issued = true;
+    }
+
+    // Issue fills, but never while a writeback of the same address
+    // is still outstanding.
+    for (PendingFill& fill : _fills) {
+        if (fill.issued)
+            continue;
+        bool conflict = false;
+        for (const PendingWriteback& wb : _writebacks) {
+            if (wb.addr == fill.addr)
+                conflict = true;
+        }
+        if (conflict)
+            continue;
+        if (!port.canRequest(cycle))
+            break;
+        auto txn = std::make_shared<MemTransaction>();
+        txn->isRead = true;
+        txn->address = fill.addr;
+        txn->size = _backing->fillSize(fill.addr);
+        txn->client = client;
+        txn->tag = static_cast<u64>(fill.addr) << 1;
+        port.request(cycle, txn);
+        fill.issued = true;
+    }
+
+    // Handle responses.
+    while (port.hasResponse()) {
+        MemTransactionPtr txn = port.popResponse(cycle);
+        if (!txn->isRead) {
+            // Writeback acknowledged.
+            const u32 addr = static_cast<u32>(txn->tag >> 1);
+            for (auto it = _writebacks.begin();
+                 it != _writebacks.end(); ++it) {
+                if (it->issued && it->addr == addr) {
+                    _writebacks.erase(it);
+                    break;
+                }
+            }
+            continue;
+        }
+        const u32 addr = static_cast<u32>(txn->tag >> 1);
+        bool found = false;
+        for (auto it = _fills.begin(); it != _fills.end(); ++it) {
+            if (it->issued && it->addr == addr) {
+                Line& line = _lines[it->lineIndex];
+                _backing->fillFromMemory(addr, txn->data.data(),
+                                         txn->size,
+                                         line.data.data());
+                line.state = LineState::Valid;
+                _fills.erase(it);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            panic("cache '", _name,
+                  "': fill response with no pending fill");
+    }
+}
+
+bool
+FbCache::flushStep(Cycle cycle, MemPort& port, MemClient client)
+{
+    // Queue writebacks for dirty lines, a few per cycle.
+    u32 queued = 0;
+    while (_flushScan < _lines.size() && queued < 4) {
+        Line& line = _lines[_flushScan];
+        if (line.state == LineState::Valid && line.dirty) {
+            PendingWriteback wb;
+            wb.addr = line.addr;
+            wb.bytes.resize(_config.lineBytes);
+            const u32 size = _backing->writeback(line.addr,
+                                                 line.data.data(),
+                                                 wb.bytes.data());
+            wb.bytes.resize(size);
+            _writebacks.push_back(std::move(wb));
+            line.dirty = false;
+            ++queued;
+        }
+        ++_flushScan;
+    }
+
+    clock(cycle, port, client);
+
+    if (_flushScan >= _lines.size() && idle()) {
+        _flushScan = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+FbCache::invalidateAll()
+{
+    for (Line& line : _lines) {
+        if (line.state == LineState::Filling)
+            panic("cache '", _name,
+                  "': invalidateAll with fills in flight");
+        line.state = LineState::Invalid;
+        line.dirty = false;
+    }
+}
+
+bool
+FbCache::idle() const
+{
+    return _fills.empty() && _writebacks.empty();
+}
+
+} // namespace attila::gpu

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * FbCache: the set-associative caches attached to the pipeline boxes
+ * (Z cache, Color cache, Texture cache — Table 2).
+ *
+ * As in the paper, caches use a method-based (non-signal) interface
+ * attached to their parent box, modelling single-cycle tag and data
+ * access.  Misses and writebacks move through the parent's MemPort
+ * with full memory controller timing.
+ *
+ * A LineBacking policy customizes how lines are filled from and
+ * written back to memory; this is where the Z compression and fast
+ * clear algorithms plug in (the ROPz backing compresses on eviction
+ * and services cleared blocks without memory traffic).
+ */
+
+#ifndef ATTILA_GPU_CACHE_HH
+#define ATTILA_GPU_CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "gpu/memory_controller.hh"
+#include "sim/statistics.hh"
+
+namespace attila::gpu
+{
+
+/** Per-block compression / clear state (paper §2.2). */
+enum class BlockState : u8
+{
+    Cleared,      ///< Fast-cleared; no memory backing yet.
+    Uncompressed, ///< 256 bytes in memory.
+    CompHalf,     ///< 128 bytes (1:2).
+    CompQuarter,  ///< 64 bytes (1:4).
+};
+
+/** The on-chip block state memory of a ROP unit. */
+class BlockStateTable
+{
+  public:
+    void
+    reset(u32 blocks, BlockState initial)
+    {
+        _states.assign(blocks, initial);
+    }
+
+    /** Set every block to @p state (the fast clear operation). */
+    void
+    clearAll(BlockState state)
+    {
+        std::fill(_states.begin(), _states.end(), state);
+    }
+
+    BlockState
+    get(u32 block) const
+    {
+        return block < _states.size() ? _states[block]
+                                      : BlockState::Uncompressed;
+    }
+
+    void
+    set(u32 block, BlockState state)
+    {
+        if (block < _states.size())
+            _states[block] = state;
+    }
+
+    u32 blocks() const { return static_cast<u32>(_states.size()); }
+
+  private:
+    std::vector<BlockState> _states;
+};
+
+/** Fill/writeback policy of a cache. */
+class LineBacking
+{
+  public:
+    virtual ~LineBacking() = default;
+
+    /**
+     * Bytes to fetch from memory to fill the line at @p lineAddr.
+     * Return 0 for lines needing no memory access (cleared blocks);
+     * fillLocal() is called instead.
+     */
+    virtual u32
+    fillSize(u32 lineAddr)
+    {
+        (void)lineAddr;
+        return _lineBytes;
+    }
+
+    /** Decode @p size fetched bytes into the line. */
+    virtual void
+    fillFromMemory(u32 lineAddr, const u8* memBytes, u32 size,
+                   u8* lineOut)
+    {
+        (void)lineAddr;
+        (void)size;
+        std::memcpy(lineOut, memBytes, _lineBytes);
+    }
+
+    /** Fill a line that needs no memory traffic. */
+    virtual void
+    fillLocal(u32 lineAddr, u8* lineOut)
+    {
+        (void)lineAddr;
+        std::memset(lineOut, 0, _lineBytes);
+    }
+
+    /**
+     * Encode a dirty line for writeback into @p out (at least
+     * _lineBytes large); return the byte count to write (the Z
+     * compressor returns 64/128/256).
+     */
+    virtual u32
+    writeback(u32 lineAddr, const u8* lineData, u8* out)
+    {
+        (void)lineAddr;
+        std::memcpy(out, lineData, _lineBytes);
+        return _lineBytes;
+    }
+
+    void setLineBytes(u32 bytes) { _lineBytes = bytes; }
+
+  protected:
+    u32 _lineBytes = 256;
+};
+
+/** Outcome of a cache access attempt. */
+enum class CacheAccess : u8
+{
+    Hit,     ///< Line resident; data available this cycle.
+    Miss,    ///< Fill started (or already pending); retry later.
+    Blocked, ///< No resource (ports, victims, memory queue).
+};
+
+/** A set-associative, write-back cache with pluggable backing. */
+class FbCache
+{
+  public:
+    struct Config
+    {
+        u32 sizeKB = 16;
+        u32 ways = 4;
+        u32 lineBytes = 256;
+        u32 ports = 4;          ///< Accesses per cycle.
+        u32 maxOutstanding = 4; ///< Concurrent misses.
+    };
+
+    FbCache(std::string name, const Config& config,
+            sim::Statistic& hits, sim::Statistic& misses,
+            LineBacking* backing = nullptr);
+
+    /**
+     * Request the line containing @p addr.  On Hit, lineData() is
+     * valid this cycle.  @p forWrite allocates and marks dirty.
+     */
+    CacheAccess access(Cycle cycle, u32 addr, bool forWrite);
+
+    /** Pointer to the 4-byte word at @p addr (line must be
+     * resident). */
+    u8* wordPtr(u32 addr);
+
+    /** Mark the resident line containing @p addr dirty. */
+    void markDirty(u32 addr);
+
+    /** Pump fills and writebacks through @p port; call every
+     * cycle. */
+    void clock(Cycle cycle, MemPort& port, MemClient client);
+
+    /**
+     * Write all dirty lines back to memory.  Call every cycle until
+     * it returns true; no access() calls may interleave.
+     */
+    bool flushStep(Cycle cycle, MemPort& port, MemClient client);
+
+    /** Drop every line (after a fast clear). */
+    void invalidateAll();
+
+    /** True when no fills or writebacks are in flight. */
+    bool idle() const;
+
+    u32 lineBytes() const { return _config.lineBytes; }
+    u32 lineCount() const { return static_cast<u32>(_lines.size()); }
+    u32 ways() const { return _config.ways; }
+    u32 sets() const { return _sets; }
+
+  private:
+    enum class LineState : u8 { Invalid, Filling, Valid };
+
+    struct Line
+    {
+        LineState state = LineState::Invalid;
+        bool dirty = false;
+        u32 addr = 0; ///< Line-aligned address.
+        u64 lastUse = 0;
+        std::vector<u8> data;
+    };
+
+    struct PendingFill
+    {
+        u32 lineIndex = 0;
+        u32 addr = 0;
+        bool localOnly = false;
+        bool issued = false;
+    };
+
+    struct PendingWriteback
+    {
+        u32 addr = 0;
+        std::vector<u8> bytes;
+        bool issued = false;
+    };
+
+    u32 setOf(u32 lineAddr) const;
+    Line* findLine(u32 lineAddr);
+    s32 pickVictim(u32 set);
+    bool fillPendingFor(u32 lineAddr) const;
+
+    std::string _name;
+    Config _config;
+    LineBacking _defaultBacking;
+    LineBacking* _backing;
+    u32 _sets;
+    std::vector<Line> _lines;
+    std::deque<PendingFill> _fills;
+    std::deque<PendingWriteback> _writebacks;
+    u32 _accessesThisCycle = 0;
+    Cycle _currentCycle = ~0ull;
+    u64 _useCounter = 0;
+    u32 _flushScan = 0;
+    sim::Statistic& _hits;
+    sim::Statistic& _misses;
+};
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_CACHE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The Command Processor's instruction set (paper §4): register
+ * writes, buffer writes into GPU memory, shader program loads, batch
+ * draws, fast clears and swap.  The OpenGL framework translates API
+ * calls into streams of these commands; both the timing GPU and the
+ * functional reference renderer consume the same streams.
+ */
+
+#ifndef ATTILA_GPU_COMMANDS_HH
+#define ATTILA_GPU_COMMANDS_HH
+
+#include <memory>
+#include <vector>
+
+#include "emu/shader_isa.hh"
+#include "gpu/regs.hh"
+
+namespace attila::gpu
+{
+
+/** Command opcodes. */
+enum class CommandOp : u8
+{
+    WriteReg,      ///< Write one render state register.
+    WriteBuffer,   ///< Upload data from system memory to GPU memory.
+    LoadVertexProgram,
+    LoadFragmentProgram,
+    Draw,          ///< Render a batch.
+    ClearColor,    ///< Fast clear of the colour buffer.
+    ClearZStencil, ///< Fast clear of depth and stencil.
+    Swap,          ///< Finish the frame (DAC dump).
+};
+
+/** Draw parameters. */
+struct DrawParams
+{
+    Primitive primitive = Primitive::Triangles;
+    u32 count = 0; ///< Number of indices / vertices in the batch.
+    u32 first = 0; ///< First sequential index (non-indexed draws).
+};
+
+/** One Command Processor command. */
+struct Command
+{
+    CommandOp op = CommandOp::Draw;
+
+    // WriteReg.
+    Reg reg = Reg::FbWidth;
+    u32 regIndex = 0;
+    RegValue value;
+
+    // WriteBuffer.
+    u32 address = 0;
+    std::shared_ptr<const std::vector<u8>> data;
+
+    // Load*Program.
+    emu::ShaderProgramPtr program;
+
+    // Draw.
+    DrawParams draw;
+
+    static Command
+    writeReg(Reg reg, const RegValue& v, u32 index = 0)
+    {
+        Command c;
+        c.op = CommandOp::WriteReg;
+        c.reg = reg;
+        c.regIndex = index;
+        c.value = v;
+        return c;
+    }
+
+    static Command
+    writeBuffer(u32 address, std::vector<u8> bytes)
+    {
+        Command c;
+        c.op = CommandOp::WriteBuffer;
+        c.address = address;
+        c.data = std::make_shared<const std::vector<u8>>(
+            std::move(bytes));
+        return c;
+    }
+
+    static Command
+    loadVertexProgram(emu::ShaderProgramPtr prog)
+    {
+        Command c;
+        c.op = CommandOp::LoadVertexProgram;
+        c.program = std::move(prog);
+        return c;
+    }
+
+    static Command
+    loadFragmentProgram(emu::ShaderProgramPtr prog)
+    {
+        Command c;
+        c.op = CommandOp::LoadFragmentProgram;
+        c.program = std::move(prog);
+        return c;
+    }
+
+    static Command
+    drawBatch(Primitive prim, u32 count, u32 first = 0)
+    {
+        Command c;
+        c.op = CommandOp::Draw;
+        c.draw.primitive = prim;
+        c.draw.count = count;
+        c.draw.first = first;
+        return c;
+    }
+
+    static Command
+    clearColor()
+    {
+        Command c;
+        c.op = CommandOp::ClearColor;
+        return c;
+    }
+
+    static Command
+    clearZStencil()
+    {
+        Command c;
+        c.op = CommandOp::ClearZStencil;
+        return c;
+    }
+
+    static Command
+    swap()
+    {
+        Command c;
+        c.op = CommandOp::Swap;
+        return c;
+    }
+};
+
+/** A stream of commands, as produced by the driver for one frame or
+ * one trace segment. */
+using CommandList = std::vector<Command>;
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_COMMANDS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Framebuffer memory layout helpers.
+ *
+ * Colour and depth/stencil buffers are stored tile-linear: 8x8-pixel
+ * tiles of 4-byte elements, 256 bytes per tile — exactly one
+ * framebuffer cache line (Table 2) and one Hierarchical Z block.
+ * Tiles are laid out row-major.  This is the third tiling level of
+ * the fragment generator (paper §2.2).
+ */
+
+#ifndef ATTILA_GPU_FRAMEBUFFER_HH
+#define ATTILA_GPU_FRAMEBUFFER_HH
+
+#include "sim/types.hh"
+
+namespace attila::gpu
+{
+
+/** Framebuffer tile dimension in pixels. */
+constexpr u32 fbTileDim = 8;
+/** Pixels per tile. */
+constexpr u32 fbTilePixels = fbTileDim * fbTileDim;
+/** Bytes per 4-byte-pixel tile (== cache line size). */
+constexpr u32 fbTileBytes = fbTilePixels * 4;
+
+/** Number of tiles across a surface of @p width pixels. */
+inline u32
+fbTilesPerRow(u32 width)
+{
+    return (width + fbTileDim - 1) / fbTileDim;
+}
+
+/** Linear tile index of the tile containing pixel (x, y). */
+inline u32
+fbTileIndex(u32 width, u32 x, u32 y)
+{
+    return (y / fbTileDim) * fbTilesPerRow(width) + (x / fbTileDim);
+}
+
+/** Byte address of pixel (x, y) in a tiled 4-byte surface. */
+inline u32
+fbPixelAddress(u32 base, u32 width, u32 x, u32 y)
+{
+    return base + fbTileIndex(width, x, y) * fbTileBytes +
+           ((y % fbTileDim) * fbTileDim + (x % fbTileDim)) * 4;
+}
+
+/** Byte address of the tile containing pixel (x, y). */
+inline u32
+fbTileAddress(u32 base, u32 width, u32 x, u32 y)
+{
+    return base + fbTileIndex(width, x, y) * fbTileBytes;
+}
+
+/** Total bytes of a tiled surface. */
+inline u32
+fbSurfaceBytes(u32 width, u32 height)
+{
+    const u32 rows = (height + fbTileDim - 1) / fbTileDim;
+    return fbTilesPerRow(width) * rows * fbTileBytes;
+}
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_FRAMEBUFFER_HH

@@ -1,0 +1,117 @@
+#include "gpu/gpu.hh"
+
+namespace attila::gpu
+{
+
+Gpu::Gpu(const GpuConfig& config)
+    : _config(config),
+      _memory(std::make_unique<emu::GpuMemory>(config.memorySize))
+{
+    _sim.stats().setWindow(config.statsWindow);
+    if (!config.signalTracePath.empty())
+        _sim.enableTracing(config.signalTracePath);
+
+    sim::SignalBinder& binder = _sim.binder();
+    sim::StatisticManager& stats = _sim.stats();
+    binder.attachStatistics(stats);
+
+    _commandProcessor =
+        std::make_unique<CommandProcessor>(binder, stats, _config);
+    _streamer = std::make_unique<Streamer>(binder, stats, _config);
+    _assembly =
+        std::make_unique<PrimitiveAssembly>(binder, stats, _config);
+    _clipper = std::make_unique<Clipper>(binder, stats, _config);
+    _setup = std::make_unique<TriangleSetup>(binder, stats, _config);
+    _fragmentGenerator =
+        std::make_unique<FragmentGenerator>(binder, stats, _config);
+    _hz = std::make_unique<HierarchicalZ>(binder, stats, _config);
+    for (u32 i = 0; i < _config.numRops; ++i) {
+        _ropz.push_back(std::make_unique<ZStencilTest>(
+            binder, stats, _config, i, *_memory));
+    }
+    _interpolator =
+        std::make_unique<Interpolator>(binder, stats, _config);
+    _ffifo = std::make_unique<FragmentFifo>(binder, stats, _config);
+
+    const u32 totalShaders =
+        _config.numShaders +
+        (_config.unifiedShaders ? 0 : _config.numVertexShaders);
+    for (u32 s = 0; s < totalShaders; ++s) {
+        const bool vertexOnly = s >= _config.numShaders;
+        _shaders.push_back(std::make_unique<ShaderUnit>(
+            binder, stats, _config, s, vertexOnly));
+    }
+    for (u32 t = 0; t < _config.numTextureUnits; ++t) {
+        _textureUnits.push_back(std::make_unique<TextureUnit>(
+            binder, stats, _config, t, *_memory));
+    }
+    for (u32 i = 0; i < _config.numRops; ++i) {
+        _ropc.push_back(std::make_unique<ColorWrite>(
+            binder, stats, _config, i, *_memory));
+    }
+    _dac = std::make_unique<Dac>(binder, stats, _config);
+    _dac->setMemory(_memory.get());
+    {
+        std::vector<std::shared_ptr<const ColorClearInfo>> infos;
+        for (const auto& rop : _ropc)
+            infos.push_back(rop->clearInfo());
+        _dac->setClearInfo(std::move(infos));
+    }
+
+    std::vector<std::string> clients;
+    clients.push_back("mc.cp");
+    clients.push_back("mc.streamer");
+    for (u32 i = 0; i < _config.numRops; ++i)
+        clients.push_back("mc.zcache" + std::to_string(i));
+    for (u32 i = 0; i < _config.numRops; ++i)
+        clients.push_back("mc.colorcache" + std::to_string(i));
+    for (u32 t = 0; t < _config.numTextureUnits; ++t)
+        clients.push_back("mc.texcache" + std::to_string(t));
+    clients.push_back("mc.dac");
+    _memoryController = std::make_unique<MemoryController>(
+        binder, stats, _config, *_memory, clients);
+
+    binder.checkConnectivity();
+
+    _sim.addBox(_commandProcessor.get());
+    _sim.addBox(_streamer.get());
+    _sim.addBox(_assembly.get());
+    _sim.addBox(_clipper.get());
+    _sim.addBox(_setup.get());
+    _sim.addBox(_fragmentGenerator.get());
+    _sim.addBox(_hz.get());
+    for (auto& rop : _ropz)
+        _sim.addBox(rop.get());
+    _sim.addBox(_interpolator.get());
+    _sim.addBox(_ffifo.get());
+    for (auto& shader : _shaders)
+        _sim.addBox(shader.get());
+    for (auto& tu : _textureUnits)
+        _sim.addBox(tu.get());
+    for (auto& rop : _ropc)
+        _sim.addBox(rop.get());
+    _sim.addBox(_dac.get());
+    _sim.addBox(_memoryController.get());
+}
+
+bool
+Gpu::runUntilIdle(u64 max_cycles)
+{
+    // Signals can hold objects in flight for up to the largest
+    // configured latency, which boxes' empty() cannot see; require
+    // a long stable-empty streak before declaring the drain done.
+    constexpr u32 stableCycles = 64;
+    u32 stable = 0;
+    for (u64 i = 0; i < max_cycles; ++i) {
+        _sim.step();
+        if (_commandProcessor->empty() && _sim.allEmpty()) {
+            if (++stable >= stableCycles)
+                return true;
+        } else {
+            stable = 0;
+        }
+    }
+    return false;
+}
+
+} // namespace attila::gpu

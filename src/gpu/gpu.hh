@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Gpu: the top-level simulated ATTILA GPU.
+ *
+ * Assembles the configured pipeline — unified (Fig 2) or non-unified
+ * (Fig 1) — out of boxes and signals, owns the GPU memory image and
+ * the simulator infrastructure, and exposes the host interface used
+ * by the driver: submit a command stream and run the clock.
+ */
+
+#ifndef ATTILA_GPU_GPU_HH
+#define ATTILA_GPU_GPU_HH
+
+#include <memory>
+
+#include "emu/memory.hh"
+#include "gpu/color_write.hh"
+#include "gpu/command_processor.hh"
+#include "gpu/dac.hh"
+#include "gpu/fragment_fifo.hh"
+#include "gpu/fragment_generator.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/hierarchical_z.hh"
+#include "gpu/interpolator.hh"
+#include "gpu/memory_controller.hh"
+#include "gpu/primitive_assembly.hh"
+#include "gpu/clipper.hh"
+#include "gpu/shader_unit.hh"
+#include "gpu/streamer.hh"
+#include "gpu/texture_unit.hh"
+#include "gpu/triangle_setup.hh"
+#include "gpu/z_stencil_test.hh"
+#include "sim/simulator.hh"
+
+namespace attila::gpu
+{
+
+/** The whole simulated GPU. */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig& config);
+
+    Gpu(const Gpu&) = delete;
+    Gpu& operator=(const Gpu&) = delete;
+
+    /** Queue a command stream for execution. */
+    void
+    submit(const CommandList& list)
+    {
+        _commandProcessor->submit(list);
+    }
+
+    /**
+     * Clock the GPU until the submitted work drains (or @p max_cycles
+     * elapse).  Returns true when the pipeline drained.
+     */
+    bool runUntilIdle(u64 max_cycles = 500'000'000);
+
+    sim::Simulator& simulator() { return _sim; }
+    sim::StatisticManager& stats() { return _sim.stats(); }
+    emu::GpuMemory& memory() { return *_memory; }
+    const GpuConfig& config() const { return _config; }
+
+    CommandProcessor& commandProcessor()
+    {
+        return *_commandProcessor;
+    }
+    Dac& dac() { return *_dac; }
+
+    /** Frames dumped by the DAC so far. */
+    const std::vector<FrameImage>&
+    frames() const
+    {
+        return _dac->frames();
+    }
+
+    Cycle cycle() const { return _sim.cycle(); }
+
+  private:
+    GpuConfig _config;
+    std::unique_ptr<emu::GpuMemory> _memory;
+    sim::Simulator _sim;
+
+    std::unique_ptr<CommandProcessor> _commandProcessor;
+    std::unique_ptr<Streamer> _streamer;
+    std::unique_ptr<PrimitiveAssembly> _assembly;
+    std::unique_ptr<Clipper> _clipper;
+    std::unique_ptr<TriangleSetup> _setup;
+    std::unique_ptr<FragmentGenerator> _fragmentGenerator;
+    std::unique_ptr<HierarchicalZ> _hz;
+    std::vector<std::unique_ptr<ZStencilTest>> _ropz;
+    std::unique_ptr<Interpolator> _interpolator;
+    std::unique_ptr<FragmentFifo> _ffifo;
+    std::vector<std::unique_ptr<ShaderUnit>> _shaders;
+    std::vector<std::unique_ptr<TextureUnit>> _textureUnits;
+    std::vector<std::unique_ptr<ColorWrite>> _ropc;
+    std::unique_ptr<Dac> _dac;
+    std::unique_ptr<MemoryController> _memoryController;
+};
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_GPU_HH

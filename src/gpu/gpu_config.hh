@@ -1,0 +1,178 @@
+/**
+ * @file
+ * GpuConfig: the simulator's configuration file (paper §3: "over 100
+ * parameters").  Defaults reproduce the baseline architecture of
+ * Tables 1 and 2.
+ */
+
+#ifndef ATTILA_GPU_GPU_CONFIG_HH
+#define ATTILA_GPU_GPU_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace attila::gpu
+{
+
+/** Shader scheduling modes (the Fig 7 experiment). */
+enum class ShaderScheduling : u8
+{
+    /** Thread window: out-of-order execution across the window's
+     * threads, in-order commit. */
+    ThreadWindow,
+    /** Shader input queue: strictly in-order execution. */
+    InOrderQueue,
+};
+
+/** Fragment generator traversal algorithms (paper §2.2). */
+enum class FragmentGenKind : u8
+{
+    Recursive, ///< McCool et al. recursive descent (default).
+    Scanline,  ///< Neon-style tile scanner.
+};
+
+/** The full configuration of a simulated ATTILA GPU. */
+struct GpuConfig
+{
+    // ===== Global ===================================================
+    bool unifiedShaders = true; ///< Fig 2 (true) vs Fig 1 (false).
+    u32 memorySize = 64u << 20; ///< GPU memory bytes.
+    u64 clockMHz = 600;         ///< For fps reporting only.
+
+    // ===== Shader pool ==============================================
+    u32 numShaders = 2;       ///< Fragment/unified shader units.
+    u32 numVertexShaders = 4; ///< Dedicated units (non-unified).
+    ShaderScheduling scheduling = ShaderScheduling::ThreadWindow;
+    /** Shader inputs in flight (fragments+vertices); 1 thread = 4
+     * inputs.  Baseline: 112 fragment + 16 vertex inputs. */
+    u32 shaderInputsInFlight = 128;
+    u32 vertexShaderThreads = 12; ///< Non-unified vertex threads.
+    /** Physical temp registers (per input).  Baseline: 448 for the
+     * fragment/unified pool. */
+    u32 shaderRegisters = 512;
+    u32 vertexShaderRegisters = 96;
+    u32 shaderFetchRate = 1;  ///< Instructions issued per cycle.
+    u32 shaderInputsPerCycle = 4; ///< Fragments accepted per cycle.
+
+    // ===== Texture units ============================================
+    u32 numTextureUnits = 2;  ///< One per shader in the baseline.
+    u32 textureCacheKB = 16;
+    u32 textureCacheWays = 4;
+    u32 textureCacheLine = 256;
+    u32 textureCachePorts = 4; ///< Texel reads per cycle.
+    u32 textureRequestQueue = 16;
+
+    // ===== ROPs =====================================================
+    u32 numRops = 2;         ///< Z/stencil + colour units each.
+    u32 ropFragmentsPerCycle = 4; ///< 1 quad per cycle per unit.
+    u32 ropLatency = 2;      ///< Pipeline latency before memory.
+    u32 zCacheKB = 16;
+    u32 zCacheWays = 4;
+    u32 zCacheLine = 256;
+    u32 colorCacheKB = 16;
+    u32 colorCacheWays = 4;
+    u32 colorCacheLine = 256;
+    bool zCompression = true;
+    bool fastClear = true;
+    u32 clearCycles = 8;     ///< Fast clear latency.
+    /** Double-rate Z (paper §7 extension): depth/stencil-only
+     *  passes (colour writes masked) process two quads per cycle. */
+    bool doubleRateZ = false;
+    /** Colour compression (paper §7 extension): uniform tiles write
+     *  back at 1:4 (flat surfaces, UI, sky). */
+    bool colorCompression = false;
+
+    // ===== Geometry pipeline (Table 1) ==============================
+    u32 streamerQueue = 48;
+    u32 vertexCacheEntries = 16; ///< Post-shading vertex cache.
+    u32 vertexRequestQueue = 16;
+    u32 primitiveAssemblyQueue = 8;
+    u32 clipperQueue = 4;
+    u32 clipperLatency = 6;
+    u32 trianglesPerCycle = 1;
+    u32 setupQueue = 12;
+    u32 setupLatency = 10;
+    u32 fragmentGenQueue = 16;
+    FragmentGenKind fragmentGen = FragmentGenKind::Recursive;
+    u32 tilesPerCycle = 2;   ///< 2 x 64 fragments per cycle.
+    u32 genTileSize = 8;     ///< Second/third tiling level (8x8).
+
+    // ===== Hierarchical Z ===========================================
+    bool hzEnabled = true;
+    u32 hzQueue = 64;
+    u32 hzTilesPerCycle = 2;
+
+    // ===== Interpolator =============================================
+    u32 interpolatorBaseLatency = 2;
+    u32 interpolatorMaxLatency = 8;
+    u32 interpolatorQuadsPerCycle = 2;
+
+    // ===== Fragment FIFO ============================================
+    u32 fragmentFifoQueue = 64;
+
+    // ===== Memory controller ========================================
+    u32 memoryChannels = 4;
+    u32 channelBytesPerCycle = 16; ///< 64-bit DDR: 16 B/cycle.
+    u32 memoryBurstBytes = 64;     ///< One transaction burst.
+    u32 channelInterleave = 256;   ///< Bytes per channel stripe.
+    u32 memoryPageBytes = 4096;
+    u32 pageOpenPenalty = 8;       ///< Cycles on page change.
+    u32 readWriteTurnaround = 4;   ///< Cycles on rd<->wr switch.
+    u32 memoryRequestQueue = 16;   ///< Per-client request queue.
+    u32 systemBusBytesPerCycle = 16; ///< PCIe-like: 2 x 8 B/cycle.
+
+    // ===== Statistics / debugging ===================================
+    u64 statsWindow = 10000; ///< Sampling window in cycles.
+    std::string signalTracePath; ///< Empty disables tracing.
+
+    /** Baseline configuration of Tables 1 and 2. */
+    static GpuConfig
+    baseline()
+    {
+        return GpuConfig{};
+    }
+
+    /**
+     * The Fig 7-9 case study configuration: three unified shaders,
+     * one ROP, two 64-bit DDR channels, a 384-input window/queue and
+     * 1536 temporary registers.
+     */
+    static GpuConfig
+    caseStudy(ShaderScheduling mode, u32 textureUnits)
+    {
+        GpuConfig c;
+        c.unifiedShaders = true;
+        c.numShaders = 3;
+        c.numTextureUnits = textureUnits;
+        c.numRops = 1;
+        c.memoryChannels = 2;
+        c.scheduling = mode;
+        c.shaderInputsInFlight = 384;
+        c.shaderRegisters = 1536;
+        return c;
+    }
+
+    /** Embedded configuration: a single unified shader does all the
+     * vertex, fragment and triangle shading work (paper ref [2]). */
+    static GpuConfig
+    embedded()
+    {
+        GpuConfig c;
+        c.unifiedShaders = true;
+        c.numShaders = 1;
+        c.numTextureUnits = 1;
+        c.numRops = 1;
+        c.memoryChannels = 1;
+        c.shaderInputsInFlight = 32;
+        c.shaderRegisters = 128;
+        c.textureCacheKB = 4;
+        c.zCacheKB = 4;
+        c.colorCacheKB = 4;
+        return c;
+    }
+};
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_GPU_CONFIG_HH

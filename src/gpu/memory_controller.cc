@@ -1,0 +1,196 @@
+#include "gpu/memory_controller.hh"
+
+#include <algorithm>
+
+namespace attila::gpu
+{
+
+MemoryController::MemoryController(sim::SignalBinder& binder,
+                                   sim::StatisticManager& stats,
+                                   const GpuConfig& config,
+                                   emu::GpuMemory& memory,
+                                   std::vector<std::string>
+                                       client_ports)
+    : Box(binder, stats, "MemoryController"),
+      _config(config),
+      _memory(memory),
+      _statReadBytes(stat("readBytes")),
+      _statWriteBytes(stat("writeBytes")),
+      _statBusyCycles(stat("busyCycles")),
+      _statPageOpens(stat("pageOpens")),
+      _statTurnarounds(stat("turnarounds"))
+{
+    _channels.resize(config.memoryChannels);
+    for (auto& ch : _channels)
+        ch.queues.resize(client_ports.size());
+
+    for (const std::string& port : client_ports) {
+        auto client = std::make_unique<ClientPort>();
+        client->name = port;
+        client->req.init(*this, binder, port + ".req", 8, 1,
+                         config.memoryRequestQueue);
+        client->resp.init(*this, binder, port + ".resp", 8, 1,
+                          config.memoryRequestQueue);
+        _statClientBytes.push_back(&stat(port + ".bytes"));
+        _clients.push_back(std::move(client));
+    }
+}
+
+u32
+MemoryController::channelOf(u32 addr) const
+{
+    return (addr / _config.channelInterleave) %
+           _config.memoryChannels;
+}
+
+void
+MemoryController::acceptRequests(Cycle cycle)
+{
+    for (u32 ci = 0; ci < _clients.size(); ++ci) {
+        ClientPort& client = *_clients[ci];
+        client.req.clock(cycle);
+        while (!client.req.empty()) {
+            MemTransactionPtr txn = client.req.pop(cycle);
+            if (txn->size == 0 || txn->size > 256) {
+                panic("memory controller: transaction size ",
+                      txn->size, " out of range");
+            }
+            if (txn->isRead)
+                txn->data.assign(txn->size, 0);
+
+            // Split into bursts along channel stripes.
+            u32 offset = 0;
+            u32 bursts = 0;
+            while (offset < txn->size) {
+                const u32 addr = txn->address + offset;
+                const u32 stripeEnd =
+                    (addr / _config.channelInterleave + 1) *
+                    _config.channelInterleave;
+                const u32 size = std::min(
+                    {txn->size - offset, stripeEnd - addr,
+                     _config.memoryBurstBytes});
+                Burst b;
+                b.txn = txn;
+                b.clientIdx = ci;
+                b.offset = offset;
+                b.size = size;
+                _channels[channelOf(addr)].queues[ci].push_back(b);
+                offset += size;
+                ++bursts;
+            }
+            _pendingBursts[txn.get()] = bursts;
+        }
+    }
+}
+
+void
+MemoryController::scheduleChannels(Cycle cycle)
+{
+    for (Channel& ch : _channels) {
+        if (ch.hasInflight)
+            continue;
+        // Round-robin arbitration over client queues.
+        const u32 n = static_cast<u32>(ch.queues.size());
+        for (u32 k = 0; k < n; ++k) {
+            const u32 ci = (ch.rrNext + k) % n;
+            if (ch.queues[ci].empty())
+                continue;
+            Burst b = ch.queues[ci].front();
+            ch.queues[ci].pop_front();
+            ch.rrNext = (ci + 1) % n;
+
+            const u32 addr = b.txn->address + b.offset;
+            const u64 page = addr / _config.memoryPageBytes;
+            u64 cost = (b.size + _config.channelBytesPerCycle - 1) /
+                       _config.channelBytesPerCycle;
+            if (page != ch.currentPage) {
+                cost += _config.pageOpenPenalty;
+                _statPageOpens.inc();
+                ch.currentPage = page;
+            }
+            const bool isWrite = !b.txn->isRead;
+            if (isWrite != ch.lastWasWrite) {
+                cost += _config.readWriteTurnaround;
+                _statTurnarounds.inc();
+                ch.lastWasWrite = isWrite;
+            }
+            ch.busyUntil = cycle + cost;
+            ch.inflight = b;
+            ch.hasInflight = true;
+            _statBusyCycles.inc(cost);
+            break;
+        }
+    }
+}
+
+void
+MemoryController::completeBursts(Cycle cycle)
+{
+    for (Channel& ch : _channels) {
+        if (!ch.hasInflight || cycle < ch.busyUntil)
+            continue;
+        Burst& b = ch.inflight;
+        const u32 addr = b.txn->address + b.offset;
+        if (b.txn->isRead) {
+            _memory.read(addr, b.size, b.txn->data.data() + b.offset);
+            _statReadBytes.inc(b.size);
+        } else {
+            _memory.write(addr, b.size,
+                          b.txn->data.data() + b.offset);
+            _statWriteBytes.inc(b.size);
+        }
+        _totalBytes += b.size;
+        _statClientBytes[b.clientIdx]->inc(b.size);
+
+        auto it = _pendingBursts.find(b.txn.get());
+        if (it == _pendingBursts.end())
+            panic("memory controller: completion for an unknown"
+                  " transaction");
+        if (--it->second == 0) {
+            _pendingBursts.erase(it);
+            _clients[b.clientIdx]->completed.push_back(b.txn);
+        }
+        ch.hasInflight = false;
+    }
+}
+
+void
+MemoryController::sendResponses(Cycle cycle)
+{
+    for (auto& clientPtr : _clients) {
+        ClientPort& client = *clientPtr;
+        client.resp.clock(cycle);
+        while (!client.completed.empty() &&
+               client.resp.canSend(cycle)) {
+            client.resp.send(cycle, client.completed.front());
+            client.completed.pop_front();
+        }
+    }
+}
+
+void
+MemoryController::clock(Cycle cycle)
+{
+    acceptRequests(cycle);
+    completeBursts(cycle);
+    scheduleChannels(cycle);
+    sendResponses(cycle);
+}
+
+bool
+MemoryController::empty() const
+{
+    if (!_pendingBursts.empty())
+        return false;
+    for (const auto& client : _clients) {
+        if (!client->completed.empty() || !client->req.empty())
+            return false;
+    }
+    for (const Channel& ch : _channels) {
+        if (ch.hasInflight)
+            return false;
+    }
+    return true;
+}
+
+} // namespace attila::gpu

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * MemoryController: the unit interfacing GPU memory (paper §2.2).
+ *
+ * Modelled on GDDR3: the access unit is a 64-byte transaction (a
+ * 4-cycle transfer from a double-rate 64-bit channel); the baseline's
+ * four channels deliver up to 64 bytes/cycle.  Channels are
+ * interleaved every 256 bytes.  Configurable penalties apply when a
+ * channel opens a new page or turns around between reads and writes.
+ * Per-client request queues and response buses form the crossbar
+ * servicing the GPU units.
+ *
+ * Transactions are functional: reads return the current bytes of the
+ * GpuMemory image at completion time, writes commit their payload at
+ * completion time.  Clients therefore observe memory-consistent data
+ * with realistic timing.
+ */
+
+#ifndef ATTILA_GPU_MEMORY_CONTROLLER_HH
+#define ATTILA_GPU_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "emu/memory.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/link.hh"
+#include "gpu/work_objects.hh"
+#include "sim/box.hh"
+
+namespace attila::gpu
+{
+
+/**
+ * Client-side access port: request LinkTx + response LinkRx.
+ * Owned by the client box; the signal names pair with the
+ * MemoryController's per-client registration.
+ */
+class MemPort
+{
+  public:
+    /** @param port_name unique name, e.g. "mc.zcache0". */
+    void
+    init(sim::Box& box, sim::SignalBinder& binder,
+         const std::string& port_name, u32 queue_capacity)
+    {
+        // The command bus accepts several requests per cycle; data
+        // transfer timing is modelled inside the controller.
+        _req.init(box, binder, port_name + ".req", 8, 1,
+                  queue_capacity);
+        _resp.init(box, binder, port_name + ".resp", 8, 1,
+                   queue_capacity);
+    }
+
+    void
+    clock(Cycle cycle)
+    {
+        _req.clock(cycle);
+        _resp.clock(cycle);
+    }
+
+    bool canRequest(Cycle cycle) const { return _req.canSend(cycle); }
+
+    /** Free request-queue credits (for multi-request bursts). */
+    u32 requestCredits() const { return _req.credits(); }
+
+    void
+    request(Cycle cycle, MemTransactionPtr txn)
+    {
+        _req.send(cycle, std::move(txn));
+    }
+
+    bool hasResponse() const { return !_resp.empty(); }
+
+    MemTransactionPtr
+    popResponse(Cycle cycle)
+    {
+        return _resp.pop(cycle);
+    }
+
+    bool idle() const { return _req.idle() && !hasResponse(); }
+
+  private:
+    LinkTx _req;
+    LinkRx<MemTransaction> _resp;
+};
+
+/** The GDDR3-like memory controller box. */
+class MemoryController : public sim::Box
+{
+  public:
+    /**
+     * @param client_ports signal base names of every client port
+     *        ("mc.zcache0", ...), fixed at construction.
+     */
+    MemoryController(sim::SignalBinder& binder,
+                     sim::StatisticManager& stats,
+                     const GpuConfig& config, emu::GpuMemory& memory,
+                     std::vector<std::string> client_ports);
+
+    void clock(Cycle cycle) override;
+    bool empty() const override;
+
+    /** Total bytes transferred (reads + writes). */
+    u64 totalBytes() const { return _totalBytes; }
+
+  private:
+    struct Burst
+    {
+        MemTransactionPtr txn;
+        u32 clientIdx = 0;
+        u32 offset = 0; ///< Offset within the transaction.
+        u32 size = 0;
+    };
+
+    struct Channel
+    {
+        std::vector<std::deque<Burst>> queues; ///< Per client.
+        u32 rrNext = 0;
+        Cycle busyUntil = 0;
+        bool hasInflight = false;
+        Burst inflight;
+        u64 currentPage = ~0ull;
+        bool lastWasWrite = false;
+    };
+
+    struct ClientPort
+    {
+        std::string name;
+        LinkRx<MemTransaction> req;
+        LinkTx resp;
+        std::deque<MemTransactionPtr> completed;
+    };
+
+    u32 channelOf(u32 addr) const;
+    void acceptRequests(Cycle cycle);
+    void scheduleChannels(Cycle cycle);
+    void completeBursts(Cycle cycle);
+    void sendResponses(Cycle cycle);
+
+    const GpuConfig& _config;
+    emu::GpuMemory& _memory;
+    std::vector<std::unique_ptr<ClientPort>> _clients;
+    std::vector<Channel> _channels;
+    /** Remaining burst count per in-flight transaction. */
+    std::map<const MemTransaction*, u32> _pendingBursts;
+    u64 _totalBytes = 0;
+
+    sim::Statistic& _statReadBytes;
+    sim::Statistic& _statWriteBytes;
+    sim::Statistic& _statBusyCycles;
+    sim::Statistic& _statPageOpens;
+    sim::Statistic& _statTurnarounds;
+    std::vector<sim::Statistic*> _statClientBytes;
+};
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_MEMORY_CONTROLLER_HH

@@ -1,0 +1,262 @@
+#include "gpu/regs.hh"
+
+#include "sim/logging.hh"
+
+namespace attila::gpu
+{
+
+void
+applyRegister(RenderState& state, Reg reg, u32 index,
+              const RegValue& value)
+{
+    using emu::CompareFunc;
+    using emu::StencilOp;
+    using emu::BlendFactor;
+    using emu::BlendEquation;
+
+    switch (reg) {
+      case Reg::FbWidth:
+        state.width = value.u;
+        break;
+      case Reg::FbHeight:
+        state.height = value.u;
+        break;
+      case Reg::ColorBufferAddr:
+        state.colorBufferAddress = value.u;
+        break;
+      case Reg::ZStencilBufferAddr:
+        state.zStencilBufferAddress = value.u;
+        break;
+
+      case Reg::ViewportX:
+        state.viewport.x = static_cast<s32>(value.u);
+        break;
+      case Reg::ViewportY:
+        state.viewport.y = static_cast<s32>(value.u);
+        break;
+      case Reg::ViewportWidth:
+        state.viewport.width = value.u;
+        break;
+      case Reg::ViewportHeight:
+        state.viewport.height = value.u;
+        break;
+
+      case Reg::CullMode_:
+        state.cull = static_cast<CullMode>(value.u);
+        break;
+      case Reg::FrontFaceCcw:
+        state.frontFaceCcw = value.u != 0;
+        break;
+
+      case Reg::ScissorEnable:
+        state.scissor.enabled = value.u != 0;
+        break;
+      case Reg::ScissorX:
+        state.scissor.x = static_cast<s32>(value.u);
+        break;
+      case Reg::ScissorY:
+        state.scissor.y = static_cast<s32>(value.u);
+        break;
+      case Reg::ScissorWidth:
+        state.scissor.width = value.u;
+        break;
+      case Reg::ScissorHeight:
+        state.scissor.height = value.u;
+        break;
+
+      case Reg::DepthTestEnable:
+        state.zStencil.depthTest = value.u != 0;
+        break;
+      case Reg::DepthFunc:
+        state.zStencil.depthFunc = static_cast<CompareFunc>(value.u);
+        break;
+      case Reg::DepthWriteMask:
+        state.zStencil.depthWrite = value.u != 0;
+        break;
+
+      case Reg::StencilTestEnable:
+        state.zStencil.stencilTest = value.u != 0;
+        break;
+      case Reg::StencilFunc:
+        state.zStencil.stencilFunc =
+            static_cast<CompareFunc>(value.u);
+        break;
+      case Reg::StencilRef:
+        state.zStencil.stencilRef = static_cast<u8>(value.u);
+        break;
+      case Reg::StencilCompareMask:
+        state.zStencil.stencilCompareMask = static_cast<u8>(value.u);
+        break;
+      case Reg::StencilWriteMask:
+        state.zStencil.stencilWriteMask = static_cast<u8>(value.u);
+        break;
+      case Reg::StencilOpFail:
+        state.zStencil.stencilFail = static_cast<StencilOp>(value.u);
+        break;
+      case Reg::StencilOpZFail:
+        state.zStencil.depthFail = static_cast<StencilOp>(value.u);
+        break;
+      case Reg::StencilOpZPass:
+        state.zStencil.depthPass = static_cast<StencilOp>(value.u);
+        break;
+
+      case Reg::StencilTwoSideEnable:
+        state.zStencil.twoSided = value.u != 0;
+        break;
+      case Reg::StencilBackFunc:
+        state.zStencil.backFunc = static_cast<CompareFunc>(value.u);
+        break;
+      case Reg::StencilBackRef:
+        state.zStencil.backRef = static_cast<u8>(value.u);
+        break;
+      case Reg::StencilBackCompareMask:
+        state.zStencil.backCompareMask = static_cast<u8>(value.u);
+        break;
+      case Reg::StencilBackWriteMask:
+        state.zStencil.backWriteMask = static_cast<u8>(value.u);
+        break;
+      case Reg::StencilBackOpFail:
+        state.zStencil.backFail = static_cast<StencilOp>(value.u);
+        break;
+      case Reg::StencilBackOpZFail:
+        state.zStencil.backDepthFail =
+            static_cast<StencilOp>(value.u);
+        break;
+      case Reg::StencilBackOpZPass:
+        state.zStencil.backDepthPass =
+            static_cast<StencilOp>(value.u);
+        break;
+
+      case Reg::BlendEnable:
+        state.blend.enabled = value.u != 0;
+        break;
+      case Reg::BlendEquation_:
+        state.blend.equation = static_cast<BlendEquation>(value.u);
+        break;
+      case Reg::BlendSrcFactor:
+        state.blend.srcFactor = static_cast<BlendFactor>(value.u);
+        break;
+      case Reg::BlendDstFactor:
+        state.blend.dstFactor = static_cast<BlendFactor>(value.u);
+        break;
+      case Reg::BlendConstantColor:
+        state.blend.constantColor = value.v;
+        break;
+      case Reg::ColorWriteMask:
+        state.blend.colorMask = static_cast<u8>(value.u);
+        break;
+
+      case Reg::ClearColor:
+        state.clearColor = value.v;
+        break;
+      case Reg::ClearDepth:
+        state.clearDepth = value.f;
+        break;
+      case Reg::ClearStencil:
+        state.clearStencil = static_cast<u8>(value.u);
+        break;
+
+      case Reg::StreamEnable:
+        state.streams.at(index).enabled = value.u != 0;
+        break;
+      case Reg::StreamAddress:
+        state.streams.at(index).address = value.u;
+        break;
+      case Reg::StreamStride:
+        state.streams.at(index).stride = value.u;
+        break;
+      case Reg::StreamFormat_:
+        state.streams.at(index).format =
+            static_cast<StreamFormat>(value.u);
+        break;
+      case Reg::IndexEnable:
+        state.indexStream.enabled = value.u != 0;
+        break;
+      case Reg::IndexAddress:
+        state.indexStream.address = value.u;
+        break;
+      case Reg::IndexWide:
+        state.indexStream.wide = value.u != 0;
+        break;
+
+      case Reg::VertexConstant:
+        state.vertexConstants.at(index) = value.v;
+        break;
+      case Reg::FragmentConstant:
+        state.fragmentConstants.at(index) = value.v;
+        break;
+
+      case Reg::TexEnable:
+        state.textureEnabled.at(index) = value.u != 0;
+        break;
+      case Reg::TexTarget_:
+        state.textures.at(index).target =
+            static_cast<emu::TexTarget>(value.u);
+        break;
+      case Reg::TexFormat_:
+        state.textures.at(index).format =
+            static_cast<emu::TexFormat>(value.u);
+        break;
+      case Reg::TexWrapS:
+        state.textures.at(index).wrapS =
+            static_cast<emu::WrapMode>(value.u);
+        break;
+      case Reg::TexWrapT:
+        state.textures.at(index).wrapT =
+            static_cast<emu::WrapMode>(value.u);
+        break;
+      case Reg::TexMinFilter:
+        state.textures.at(index).minFilter =
+            static_cast<emu::MinFilter>(value.u);
+        break;
+      case Reg::TexMagLinear:
+        state.textures.at(index).magLinear = value.u != 0;
+        break;
+      case Reg::TexMaxAniso:
+        state.textures.at(index).maxAnisotropy = value.u;
+        break;
+      case Reg::TexLevels:
+        state.textures.at(index).levels = value.u;
+        break;
+      case Reg::TexMipAddress: {
+        const u32 unit = index / emu::maxMipLevels;
+        const u32 level = index % emu::maxMipLevels;
+        // Cube faces address the texture unit through aliases:
+        // effective unit = face * maxTextureUnits + unit (see
+        // Driver::emitTextureDescriptor).
+        state.textures.at(unit % maxTextureUnits)
+            .mips[unit / maxTextureUnits][level].address = value.u;
+        break;
+      }
+      case Reg::TexMipWidth: {
+        const u32 unit = index / emu::maxMipLevels;
+        const u32 level = index % emu::maxMipLevels;
+        state.textures.at(unit % maxTextureUnits)
+            .mips[unit / maxTextureUnits][level].width = value.u;
+        break;
+      }
+      case Reg::TexMipHeight: {
+        const u32 unit = index / emu::maxMipLevels;
+        const u32 level = index % emu::maxMipLevels;
+        state.textures.at(unit % maxTextureUnits)
+            .mips[unit / maxTextureUnits][level].height = value.u;
+        break;
+      }
+
+      case Reg::HzEnable:
+        state.hzEnabled = value.u != 0;
+        break;
+      case Reg::ZCompressionEnable:
+        state.zCompressionEnabled = value.u != 0;
+        break;
+      case Reg::EarlyZAllowed:
+        state.earlyZAllowed = value.u != 0;
+        break;
+
+      default:
+        panic("applyRegister: unknown register id ",
+              static_cast<u32>(reg));
+    }
+}
+
+} // namespace attila::gpu

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The ATTILA GPU register file: every piece of render state the
+ * driver programs through Command Processor register writes.
+ *
+ * RenderState is the decoded register file.  Each Draw command
+ * snapshots the current state, which is how the pipeline keeps two
+ * batches in flight (geometry + fragment phase) without register
+ * hazards: every in-flight batch carries an immutable snapshot.
+ */
+
+#ifndef ATTILA_GPU_REGS_HH
+#define ATTILA_GPU_REGS_HH
+
+#include <array>
+#include <memory>
+
+#include "emu/fragment_op_emulator.hh"
+#include "emu/rasterizer_emulator.hh"
+#include "emu/shader_emulator.hh"
+#include "emu/texture_emulator.hh"
+#include "emu/vector.hh"
+
+namespace attila::gpu
+{
+
+/** Maximum vertex attribute streams. */
+constexpr u32 maxVertexStreams = 16;
+/** Maximum texture units visible to fragment programs. */
+constexpr u32 maxTextureUnits = 16;
+
+/** Vertex attribute source formats in GPU memory. */
+enum class StreamFormat : u8
+{
+    Float1, Float2, Float3, Float4, ///< 32-bit floats.
+    UByte4N,                        ///< 4 normalized bytes.
+};
+
+/** Bytes per element of a stream format. */
+inline u32
+streamFormatBytes(StreamFormat f)
+{
+    switch (f) {
+      case StreamFormat::Float1: return 4;
+      case StreamFormat::Float2: return 8;
+      case StreamFormat::Float3: return 12;
+      case StreamFormat::Float4: return 16;
+      case StreamFormat::UByte4N: return 4;
+    }
+    return 16;
+}
+
+/** One vertex attribute stream descriptor. */
+struct VertexStream
+{
+    bool enabled = false;
+    u32 address = 0;
+    u32 stride = 0;
+    StreamFormat format = StreamFormat::Float4;
+};
+
+/** Index buffer descriptor. */
+struct IndexStream
+{
+    bool enabled = false; ///< Disabled = sequential indices.
+    u32 address = 0;
+    bool wide = false;    ///< false = 16-bit, true = 32-bit indices.
+};
+
+/** OpenGL-style primitive topologies (the five ATTILA supports). */
+enum class Primitive : u8
+{
+    Triangles, TriangleStrip, TriangleFan, Quads, QuadStrip,
+};
+
+/** Face culling configuration. */
+enum class CullMode : u8 { None, Front, Back, FrontAndBack };
+
+/** Scissor rectangle. */
+struct ScissorState
+{
+    bool enabled = false;
+    s32 x = 0, y = 0;
+    u32 width = 0, height = 0;
+};
+
+/** The complete decoded register file. */
+struct RenderState
+{
+    // --- Surfaces -------------------------------------------------
+    u32 width = 0;            ///< Render target width in pixels.
+    u32 height = 0;           ///< Render target height in pixels.
+    u32 colorBufferAddress = 0;
+    u32 zStencilBufferAddress = 0;
+
+    // --- Geometry -------------------------------------------------
+    emu::Viewport viewport;
+    CullMode cull = CullMode::None;
+    bool frontFaceCcw = true; ///< glFrontFace(GL_CCW).
+
+    // --- Per fragment ---------------------------------------------
+    ScissorState scissor;
+    emu::ZStencilState zStencil;
+    emu::BlendState blend;
+
+    // --- Clear values ---------------------------------------------
+    emu::Vec4 clearColor;
+    f32 clearDepth = 1.0f;
+    u8 clearStencil = 0;
+
+    // --- Shaders --------------------------------------------------
+    emu::ShaderProgramPtr vertexProgram;
+    emu::ShaderProgramPtr fragmentProgram;
+    emu::ConstantBank vertexConstants{};
+    emu::ConstantBank fragmentConstants{};
+
+    // --- Streams --------------------------------------------------
+    std::array<VertexStream, maxVertexStreams> streams{};
+    IndexStream indexStream;
+
+    // --- Textures -------------------------------------------------
+    std::array<emu::TextureDescriptor, maxTextureUnits> textures{};
+    std::array<bool, maxTextureUnits> textureEnabled{};
+
+    // --- Pipeline feature switches (ablations) ----------------------
+    bool hzEnabled = true;         ///< Hierarchical Z test.
+    bool zCompressionEnabled = true;
+    bool earlyZAllowed = true;     ///< Driver's early-Z decision.
+
+    /**
+     * Early Z is legal when the fragment program does not write
+     * depth or kill fragments (alpha test is folded into the
+     * program as KIL, paper §2.2).
+     */
+    bool
+    earlyZ() const
+    {
+        if (!earlyZAllowed || !fragmentProgram)
+            return earlyZAllowed;
+        const bool writesDepth =
+            fragmentProgram->outputsWritten &
+            (1u << emu::regix::foutDepth);
+        bool kills = false;
+        for (const auto& ins : fragmentProgram->code) {
+            if (ins.op == emu::Opcode::KIL) {
+                kills = true;
+                break;
+            }
+        }
+        return !writesDepth && !kills;
+    }
+
+    /**
+     * The Hierarchical Z test is only sound for non-increasing depth
+     * functions and when a culled fragment cannot have stencil side
+     * effects.
+     */
+    bool
+    hzUsable() const
+    {
+        if (!hzEnabled || !zStencil.depthTest)
+            return false;
+        const bool funcOk =
+            zStencil.depthFunc == emu::CompareFunc::Less ||
+            zStencil.depthFunc == emu::CompareFunc::LessEqual;
+        bool stencilSafe =
+            !zStencil.stencilTest ||
+            (zStencil.depthFail == emu::StencilOp::Keep &&
+             zStencil.stencilFail == emu::StencilOp::Keep);
+        if (zStencil.stencilTest && zStencil.twoSided &&
+            (zStencil.backDepthFail != emu::StencilOp::Keep ||
+             zStencil.backFail != emu::StencilOp::Keep)) {
+            stencilSafe = false;
+        }
+        return funcOk && stencilSafe;
+    }
+
+    /**
+     * True when this batch's depth writes can *raise* stored depth
+     * values, which poisons the Hierarchical Z buffer (it must be
+     * reset to the far value to stay conservative).
+     */
+    bool
+    raisesDepth() const
+    {
+        if (!zStencil.depthTest || !zStencil.depthWrite)
+            return false;
+        switch (zStencil.depthFunc) {
+          case emu::CompareFunc::Less:
+          case emu::CompareFunc::LessEqual:
+          case emu::CompareFunc::Equal:
+          case emu::CompareFunc::Never:
+            return false;
+          default:
+            return true;
+        }
+    }
+};
+
+using RenderStatePtr = std::shared_ptr<const RenderState>;
+
+/**
+ * Register identifiers for Command Processor writes.  Indexed
+ * registers (streams, textures) use the Command's index field.
+ */
+enum class Reg : u16
+{
+    // Surfaces.
+    FbWidth, FbHeight, ColorBufferAddr, ZStencilBufferAddr,
+    // Viewport.
+    ViewportX, ViewportY, ViewportWidth, ViewportHeight,
+    // Geometry.
+    CullMode_, FrontFaceCcw,
+    // Scissor.
+    ScissorEnable, ScissorX, ScissorY, ScissorWidth, ScissorHeight,
+    // Depth.
+    DepthTestEnable, DepthFunc, DepthWriteMask,
+    // Stencil.
+    StencilTestEnable, StencilFunc, StencilRef, StencilCompareMask,
+    StencilWriteMask, StencilOpFail, StencilOpZFail, StencilOpZPass,
+    // Double-sided stencil (paper §7 extension).
+    StencilTwoSideEnable, StencilBackFunc, StencilBackRef,
+    StencilBackCompareMask, StencilBackWriteMask, StencilBackOpFail,
+    StencilBackOpZFail, StencilBackOpZPass,
+    // Blend.
+    BlendEnable, BlendEquation_, BlendSrcFactor, BlendDstFactor,
+    BlendConstantColor, ColorWriteMask,
+    // Clear values.
+    ClearColor, ClearDepth, ClearStencil,
+    // Vertex streams (indexed).
+    StreamEnable, StreamAddress, StreamStride, StreamFormat_,
+    IndexEnable, IndexAddress, IndexWide,
+    // Shader constants (indexed).
+    VertexConstant, FragmentConstant,
+    // Textures (indexed by unit; mip levels via TexMipAddress).
+    TexEnable, TexTarget_, TexFormat_, TexWrapS, TexWrapT,
+    TexMinFilter, TexMagLinear, TexMaxAniso, TexLevels,
+    TexMipAddress, TexMipWidth, TexMipHeight,
+    // Feature switches.
+    HzEnable, ZCompressionEnable, EarlyZAllowed,
+};
+
+/** A register write payload: word, float or vector views. */
+struct RegValue
+{
+    u32 u = 0;
+    f32 f = 0.0f;
+    emu::Vec4 v;
+
+    RegValue() = default;
+    explicit RegValue(u32 word) : u(word) {}
+    explicit RegValue(f32 value) : f(value) {}
+    explicit RegValue(const emu::Vec4& vec) : v(vec) {}
+    RegValue(u32 word, f32 value) : u(word), f(value) {}
+};
+
+/**
+ * Decode one register write into @p state.  Shared by the Command
+ * Processor (timing path) and the reference renderer, so both decode
+ * identically.  For TexMip* registers @p index packs
+ * unit * maxMipLevels + level.
+ */
+void applyRegister(RenderState& state, Reg reg, u32 index,
+                   const RegValue& value);
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_REGS_HH

@@ -1,0 +1,336 @@
+#include "gpu/shader_unit.hh"
+
+namespace attila::gpu
+{
+
+using emu::StepOutcome;
+
+ShaderUnit::ShaderUnit(sim::SignalBinder& binder,
+                       sim::StatisticManager& stats,
+                       const GpuConfig& config, u32 unit,
+                       bool vertex_only)
+    : Box(binder, stats, "ShaderUnit" + std::to_string(unit)),
+      _config(config),
+      _unit(unit),
+      _vertexOnly(vertex_only),
+      _statInstructions(stat("instructions")),
+      _statThreads(stat("threads")),
+      _statTexRequests(stat("textureRequests")),
+      _statBusy(stat("busyCycles")),
+      _statStallTex(stat("textureStallCycles"))
+{
+    const std::string id = std::to_string(unit);
+    _in.init(*this, binder, "ffifo.shader" + id, 1, 1, 4);
+    _out.init(*this, binder, "shader" + id + ".ffifo", 1, 1, 4);
+    if (!vertex_only) {
+        for (u32 t = 0; t < config.numTextureUnits; ++t) {
+            auto req = std::make_unique<LinkTx>();
+            req->init(*this, binder,
+                      "shader" + id + ".tu" + std::to_string(t) +
+                          ".req",
+                      1, 1, 2);
+            _texReq.push_back(std::move(req));
+            auto resp = std::make_unique<LinkRx<TexRequest>>();
+            resp->init(*this, binder,
+                       "tu" + std::to_string(t) + ".shader" + id +
+                           ".resp",
+                       1, 1, 2);
+            _texResp.push_back(std::move(resp));
+        }
+        _tuNext = unit % std::max(1u, config.numTextureUnits);
+    }
+}
+
+void
+ShaderUnit::acceptWork(Cycle cycle)
+{
+    while (!_in.empty()) {
+        ShaderWorkObjPtr work = _in.pop(cycle);
+        Thread thread;
+        thread.order = _orderCounter++;
+        thread.work = work;
+        const RenderState& state = *work->state;
+        if (work->target == emu::ShaderTarget::Vertex) {
+            thread.program = state.vertexProgram;
+            thread.constants = &state.vertexConstants;
+        } else {
+            thread.program = state.fragmentProgram;
+            thread.constants = &state.fragmentConstants;
+        }
+        if (!thread.program)
+            panic("ShaderUnit", _unit, ": work without a program");
+        for (u32 l = 0; l < 4; ++l) {
+            thread.lanes[l].reset();
+            thread.lanes[l].in = work->in[l];
+            thread.laneDone[l] = !work->active[l];
+        }
+        _threads.push_back(std::move(thread));
+        _statThreads.inc();
+    }
+}
+
+void
+ShaderUnit::handleTexResponses(Cycle cycle)
+{
+    for (auto& rx : _texResp) {
+        while (!rx->empty()) {
+            TexRequestPtr resp = rx->pop(cycle);
+            bool found = false;
+            for (Thread& thread : _threads) {
+                if (thread.work->entryId != resp->threadTag ||
+                    !thread.waitingTexture) {
+                    continue;
+                }
+                u32 pc = 0;
+                for (u32 l = 0; l < 4; ++l) {
+                    if (!thread.laneDone[l]) {
+                        pc = thread.lanes[l].pc;
+                        break;
+                    }
+                }
+                const emu::Instruction& ins =
+                    thread.program->code[pc];
+                for (u32 l = 0; l < 4; ++l) {
+                    if (thread.laneDone[l])
+                        continue;
+                    _emulator.completeTexture(*thread.program,
+                                              thread.lanes[l],
+                                              resp->texels[l]);
+                }
+                // The texture result register becomes readable
+                // shortly after the response arrives.
+                if (ins.dst.bank == emu::Bank::Temp) {
+                    thread.tempReady[ins.dst.index] = cycle + 1;
+                }
+                thread.waitingTexture = false;
+                found = true;
+                break;
+            }
+            if (!found)
+                panic("ShaderUnit", _unit,
+                      ": texture response with no waiting thread");
+        }
+    }
+}
+
+bool
+ShaderUnit::dependenciesReady(const Thread& thread,
+                              Cycle cycle) const
+{
+    // All lanes share the pc; lane 0 is the reference.
+    u32 pc = ~0u;
+    for (u32 l = 0; l < 4; ++l) {
+        if (!thread.laneDone[l]) {
+            pc = thread.lanes[l].pc;
+            break;
+        }
+    }
+    if (pc == ~0u)
+        return true;
+    const emu::Instruction& ins = thread.program->code[pc];
+    const emu::OpcodeInfo& info = emu::opcodeInfo(ins.op);
+    for (u32 i = 0; i < info.numSrc; ++i) {
+        if (ins.src[i].bank == emu::Bank::Temp &&
+            thread.tempReady[ins.src[i].index] > cycle) {
+            return false;
+        }
+    }
+    return true;
+}
+
+ShaderUnit::Thread*
+ShaderUnit::selectThread(Cycle cycle)
+{
+    if (_threads.empty())
+        return nullptr;
+
+    if (_config.scheduling == ShaderScheduling::InOrderQueue) {
+        // Strictly in-order: only the oldest thread may execute.
+        Thread* oldest = nullptr;
+        for (Thread& thread : _threads) {
+            if (!oldest || thread.order < oldest->order)
+                oldest = &thread;
+        }
+        if (oldest->waitingTexture) {
+            _statStallTex.inc();
+            return nullptr;
+        }
+        if (!dependenciesReady(*oldest, cycle))
+            return nullptr;
+        return oldest;
+    }
+
+    // Thread window: round-robin among ready threads.
+    const u32 n = static_cast<u32>(_threads.size());
+    u32 i = 0;
+    Thread* candidate = nullptr;
+    bool anyTexWait = false;
+    for (Thread& thread : _threads) {
+        const u32 slot = i++;
+        if (thread.waitingTexture) {
+            anyTexWait = true;
+            continue;
+        }
+        if (thread.finished)
+            continue;
+        if (!dependenciesReady(thread, cycle))
+            continue;
+        if (slot >= _rrNext % n && !candidate) {
+            candidate = &thread;
+        }
+    }
+    if (!candidate) {
+        // Wrap around.
+        for (Thread& thread : _threads) {
+            if (thread.waitingTexture || thread.finished)
+                continue;
+            if (!dependenciesReady(thread, cycle))
+                continue;
+            candidate = &thread;
+            break;
+        }
+    }
+    if (!candidate && anyTexWait)
+        _statStallTex.inc();
+    ++_rrNext;
+    return candidate;
+}
+
+bool
+ShaderUnit::sendResult(Cycle cycle, Thread& thread)
+{
+    if (!_out.canSend(cycle))
+        return false;
+    for (u32 l = 0; l < 4; ++l) {
+        thread.work->out[l] = thread.lanes[l].out;
+        thread.work->killed[l] = thread.lanes[l].killed;
+    }
+    _out.send(cycle, thread.work);
+    return true;
+}
+
+void
+ShaderUnit::execute(Cycle cycle, Thread& thread)
+{
+    for (u32 n = 0; n < _config.shaderFetchRate; ++n) {
+        if (thread.waitingTexture || thread.finished)
+            return;
+        if (!dependenciesReady(thread, cycle))
+            return;
+
+        // Reference lane for control decisions.
+        s32 ref = -1;
+        for (u32 l = 0; l < 4; ++l) {
+            if (!thread.laneDone[l]) {
+                ref = static_cast<s32>(l);
+                break;
+            }
+        }
+        if (ref < 0) {
+            thread.finished = true;
+            return;
+        }
+
+        const u32 pc = thread.lanes[ref].pc;
+        const emu::Instruction& ins = thread.program->code[pc];
+        const emu::OpcodeInfo& info = emu::opcodeInfo(ins.op);
+
+        if (info.isTexture) {
+            // Build a quad texture request.
+            LinkTx& link = *_texReq[_tuNext % _texReq.size()];
+            if (!link.canSend(cycle))
+                return; // No TU slot this cycle; retry.
+            auto req = std::make_shared<TexRequest>();
+            req->shaderId = _unit;
+            req->threadTag = thread.work->entryId;
+            req->state = thread.work->state;
+            req->setInfo("tex");
+            req->copyTrailFrom(*thread.work);
+            for (u32 l = 0; l < 4; ++l) {
+                req->active[l] = !thread.laneDone[l];
+                if (thread.laneDone[l])
+                    continue;
+                const auto step = _emulator.step(
+                    *thread.program, *thread.constants,
+                    thread.lanes[l]);
+                if (step.outcome != StepOutcome::TexRequest)
+                    panic("ShaderUnit", _unit,
+                          ": expected a texture request");
+                req->textureUnit = step.texUnit;
+                req->target = step.texTarget;
+                req->coords[l] = step.texCoord;
+                req->lodBias = step.texLodBias;
+                req->projected = step.texProjected;
+            }
+            link.send(cycle, req);
+            _tuNext = (_tuNext + 1) %
+                      std::max<std::size_t>(1, _texReq.size());
+            thread.waitingTexture = true;
+            _statTexRequests.inc();
+            _statInstructions.inc();
+            return;
+        }
+
+        // Regular instruction: step every live lane in lockstep.
+        u32 latency = 1;
+        bool done = true;
+        for (u32 l = 0; l < 4; ++l) {
+            if (thread.laneDone[l])
+                continue;
+            const auto step = _emulator.step(*thread.program,
+                                             *thread.constants,
+                                             thread.lanes[l]);
+            latency = step.latency;
+            if (step.outcome == StepOutcome::Done) {
+                thread.laneDone[l] = true;
+            } else {
+                done = false;
+            }
+        }
+        _statInstructions.inc();
+
+        if (info.hasDst && ins.dst.bank == emu::Bank::Temp)
+            thread.tempReady[ins.dst.index] = cycle + latency;
+
+        if (done) {
+            thread.finished = true;
+            return;
+        }
+    }
+}
+
+void
+ShaderUnit::clock(Cycle cycle)
+{
+    _in.clock(cycle);
+    _out.clock(cycle);
+    for (auto& l : _texReq)
+        l->clock(cycle);
+    for (auto& l : _texResp)
+        l->clock(cycle);
+
+    acceptWork(cycle);
+    handleTexResponses(cycle);
+
+    // Retire finished threads (one per cycle).
+    for (auto it = _threads.begin(); it != _threads.end(); ++it) {
+        if (it->finished) {
+            if (sendResult(cycle, *it))
+                _threads.erase(it);
+            break;
+        }
+    }
+
+    if (Thread* thread = selectThread(cycle)) {
+        _statBusy.inc();
+        execute(cycle, *thread);
+    }
+}
+
+bool
+ShaderUnit::empty() const
+{
+    return _threads.empty() && _in.empty();
+}
+
+} // namespace attila::gpu

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TextureUnit: processes texture requests for whole fragment quads
+ * (paper §2.2).  A small texture cache exploits the locality of
+ * mipmapping and bilinear filtering; the implemented throughput is
+ * one bilinear sample per cycle (trilinear every two cycles,
+ * anisotropic N per sample count).  Compressed (DXT) textures are
+ * fetched in compressed form and decompressed on access, so they
+ * consume proportionally less memory bandwidth.
+ */
+
+#ifndef ATTILA_GPU_TEXTURE_UNIT_HH
+#define ATTILA_GPU_TEXTURE_UNIT_HH
+
+#include <deque>
+#include <set>
+
+#include "emu/texture_emulator.hh"
+#include "gpu/cache.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/link.hh"
+#include "sim/box.hh"
+
+namespace attila::gpu
+{
+
+/** The Texture Unit box. */
+class TextureUnit : public sim::Box
+{
+  public:
+    TextureUnit(sim::SignalBinder& binder,
+                sim::StatisticManager& stats, const GpuConfig& config,
+                u32 unit, emu::GpuMemory& memory);
+
+    void clock(Cycle cycle) override;
+    bool empty() const override;
+
+  private:
+    /** A request being processed. */
+    struct Active
+    {
+        TexRequestPtr req;
+        std::array<emu::SamplePlan, 4> plans;
+        std::vector<u32> lineAddrs; ///< Unique cache lines needed.
+        u32 nextLine = 0;           ///< Lines confirmed resident.
+        u32 bilinearOps = 0;
+        Cycle filterDoneAt = 0;
+        bool filtering = false;
+    };
+
+    void acceptRequests(Cycle cycle);
+    void process(Cycle cycle);
+    void planRequest(Active& active);
+    void finish(Cycle cycle);
+
+    const GpuConfig& _config;
+    const u32 _unit;
+    emu::GpuMemory& _memory;
+
+    std::vector<std::unique_ptr<LinkRx<TexRequest>>> _reqIn;
+    std::vector<std::unique_ptr<LinkTx>> _respOut;
+    MemPort _mem;
+    FbCache _cache;
+
+    std::deque<TexRequestPtr> _queue;
+    std::unique_ptr<Active> _active;
+    std::deque<TexRequestPtr> _done; ///< Awaiting response credit.
+    u32 _rrNext = 0;
+
+    sim::Statistic& _statRequests;
+    sim::Statistic& _statBilinearOps;
+    sim::Statistic& _statBusy;
+};
+
+} // namespace attila::gpu
+
+#endif // ATTILA_GPU_TEXTURE_UNIT_HH

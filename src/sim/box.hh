@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Box: base class for every simulated pipeline unit.
+ *
+ * A box abstracts a "large enough" piece of the pipeline (the
+ * Clipper, the Fragment Generator, ...).  Each cycle the simulator
+ * calls clock(); the box reads its input signals, updates local state
+ * (registers and queues) and writes its output signals.  Boxes model
+ * resource restrictions and control/data flow; signals model latency
+ * and bandwidth.
+ */
+
+#ifndef ATTILA_SIM_BOX_HH
+#define ATTILA_SIM_BOX_HH
+
+#include <string>
+
+#include "sim/signal_binder.hh"
+#include "sim/statistics.hh"
+#include "sim/types.hh"
+
+namespace attila::sim
+{
+
+/** Base class for all simulated pipeline units. */
+class Box
+{
+  public:
+    /**
+     * @param binder Signal name server used to register this box's
+     *               interface.
+     * @param stats Statistic name server.
+     * @param name Unique box instance name.
+     */
+    Box(SignalBinder& binder, StatisticManager& stats,
+        std::string name)
+        : _binder(binder), _stats(stats), _name(std::move(name))
+    {}
+    virtual ~Box() = default;
+
+    Box(const Box&) = delete;
+    Box& operator=(const Box&) = delete;
+
+    const std::string& name() const { return _name; }
+
+    /** Advance the box one cycle. */
+    virtual void clock(Cycle cycle) = 0;
+
+    /**
+     * True when the box holds no in-flight work.  Used by the
+     * simulator's drain detection.
+     */
+    virtual bool empty() const { return true; }
+
+  protected:
+    /** Register an input signal of this box. */
+    Signal*
+    input(const std::string& signal_name, u32 bandwidth, u32 latency)
+    {
+        return _binder.registerSignal(this, signal_name, Direction::In,
+                                      bandwidth, latency);
+    }
+
+    /** Register an output signal of this box. */
+    Signal*
+    output(const std::string& signal_name, u32 bandwidth, u32 latency)
+    {
+        return _binder.registerSignal(this, signal_name,
+                                      Direction::Out, bandwidth,
+                                      latency);
+    }
+
+    /** Get (or create) a statistic scoped to this box. */
+    Statistic&
+    stat(const std::string& stat_name)
+    {
+        return _stats.get(_name, stat_name);
+    }
+
+    SignalBinder& binder() { return _binder; }
+    StatisticManager& statistics() { return _stats; }
+
+  private:
+    SignalBinder& _binder;
+    StatisticManager& _stats;
+    std::string _name;
+};
+
+} // namespace attila::sim
+
+#endif // ATTILA_SIM_BOX_HH

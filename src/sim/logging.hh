@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error and status reporting helpers.
+ *
+ * Follows gem5 semantics: panic() is for internal simulator bugs
+ * (conditions that should never happen regardless of user input),
+ * fatal() is for user/configuration errors.  Both are implemented as
+ * exceptions so that a host application (or a unit test) can contain
+ * the failure; the distinction is preserved in the exception type.
+ * The paper's signal verification checks ("may terminate the
+ * simulator, for example when bandwidth is exceeded or data is
+ * lost") map onto panic()/SimError.
+ */
+
+#ifndef ATTILA_SIM_LOGGING_HH
+#define ATTILA_SIM_LOGGING_HH
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace attila
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by fatal(): the simulation cannot continue due to a user or
+ * configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into a single string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort the simulation by
+ * throwing SimError.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    throw SimError(detail::concat("panic: ",
+                                  std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user/configuration error by throwing
+ * FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Warn the user about questionable but survivable behaviour. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::cerr << "warn: " << detail::concat(std::forward<Args>(args)...)
+              << '\n';
+}
+
+/** Informative status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::cerr << "info: " << detail::concat(std::forward<Args>(args)...)
+              << '\n';
+}
+
+} // namespace attila
+
+#endif // ATTILA_SIM_LOGGING_HH

@@ -1,0 +1,117 @@
+#include "sim/signal.hh"
+
+#include "sim/logging.hh"
+#include "sim/signal_trace.hh"
+#include "sim/statistics.hh"
+
+namespace attila::sim
+{
+
+Signal::Signal(std::string name, u32 bandwidth, u32 latency)
+    : _name(std::move(name)), _bandwidth(bandwidth), _latency(latency)
+{
+    if (_bandwidth < 1)
+        fatal("signal '", _name, "': bandwidth must be >= 1");
+    if (_latency < 1)
+        fatal("signal '", _name, "': latency must be >= 1");
+    // One slot per in-flight arrival cycle.  An object written at
+    // cycle c arrives at c + latency, so at most latency + 1 distinct
+    // arrival cycles are live at once.
+    _slots.resize(_latency + 1);
+    for (auto& slot : _slots)
+        slot.objects.reserve(_bandwidth);
+}
+
+Signal::Slot&
+Signal::slotFor(Cycle arrival)
+{
+    return _slots[arrival % _slots.size()];
+}
+
+const Signal::Slot&
+Signal::slotFor(Cycle arrival) const
+{
+    return _slots[arrival % _slots.size()];
+}
+
+void
+Signal::write(Cycle cycle, DynamicObjectPtr obj)
+{
+    if (!obj)
+        panic("signal '", _name, "': writing null object at cycle ",
+              cycle);
+
+    const Cycle arrival = cycle + _latency;
+    Slot& slot = slotFor(arrival);
+
+    if (!slot.objects.empty() && slot.arrival != arrival) {
+        // The slot still holds objects from a previous lap of the
+        // ring.  They arrived at their reader's cycle and were never
+        // read: modelled data was lost.
+        if (!slot.drained()) {
+            panic("signal '", _name, "': data loss — ",
+                  slot.objects.size() - slot.readIndex,
+                  " object(s) that arrived at cycle ", slot.arrival,
+                  " were never read (write at cycle ", cycle, ")");
+        }
+        slot.objects.clear();
+        slot.readIndex = 0;
+    }
+
+    if (slot.objects.empty()) {
+        slot.arrival = arrival;
+        slot.readIndex = 0;
+    }
+
+    if (slot.objects.size() >= _bandwidth) {
+        panic("signal '", _name, "': bandwidth exceeded at cycle ",
+              cycle, " (bandwidth ", _bandwidth, ")");
+    }
+
+    if (_tracer)
+        _tracer->record(cycle, _name, *obj);
+
+    slot.objects.push_back(std::move(obj));
+    ++_totalWrites;
+    if (_writeStat)
+        _writeStat->inc();
+}
+
+bool
+Signal::canWrite(Cycle cycle) const
+{
+    const Cycle arrival = cycle + _latency;
+    const Slot& slot = slotFor(arrival);
+    if (slot.objects.empty() || slot.arrival != arrival)
+        return true;
+    return slot.objects.size() < _bandwidth;
+}
+
+DynamicObjectPtr
+Signal::read(Cycle cycle)
+{
+    Slot& slot = slotFor(cycle);
+    if (slot.objects.empty() || slot.arrival != cycle ||
+        slot.drained()) {
+        return nullptr;
+    }
+    DynamicObjectPtr obj = std::move(slot.objects[slot.readIndex]);
+    ++slot.readIndex;
+    ++_totalReads;
+    if (slot.drained()) {
+        slot.objects.clear();
+        slot.readIndex = 0;
+    }
+    return obj;
+}
+
+u32
+Signal::pendingAt(Cycle cycle) const
+{
+    const Slot& slot = slotFor(cycle);
+    if (slot.objects.empty() || slot.arrival != cycle)
+        return 0;
+    return static_cast<u32>(slot.objects.size() - slot.readIndex);
+}
+
+} // namespace attila::sim

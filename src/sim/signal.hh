@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Signal: the "wire" connecting boxes.
+ *
+ * A signal has a bandwidth (objects per cycle) and a latency (cycles
+ * between write and read).  All communication between boxes happens
+ * in a message-passing style through signals, which both transport
+ * the data and *verify* the modelled communication constraints: a
+ * write beyond the configured bandwidth, or data that reaches the
+ * reader's cycle without being read, terminates the simulation with a
+ * diagnostic (SimError).  This is what keeps timing bugs loud instead
+ * of silent.
+ */
+
+#ifndef ATTILA_SIM_SIGNAL_HH
+#define ATTILA_SIM_SIGNAL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/dynamic_object.hh"
+#include "sim/types.hh"
+
+namespace attila::sim
+{
+
+class SignalTraceWriter;
+class Statistic;
+
+/**
+ * Latency- and bandwidth-modelled communication wire between two
+ * boxes.
+ */
+class Signal
+{
+  public:
+    /**
+     * @param name Unique signal name (assigned by the SignalBinder).
+     * @param bandwidth Maximum objects writable per cycle (>= 1).
+     * @param latency Cycles between write and availability (>= 1).
+     */
+    Signal(std::string name, u32 bandwidth, u32 latency);
+
+    const std::string& name() const { return _name; }
+    u32 bandwidth() const { return _bandwidth; }
+    u32 latency() const { return _latency; }
+
+    /**
+     * Write an object into the signal at @p cycle; it becomes
+     * readable at cycle + latency.  Throws SimError when the cycle's
+     * bandwidth is exceeded or when undelivered data would be
+     * overwritten.
+     */
+    void write(Cycle cycle, DynamicObjectPtr obj);
+
+    /**
+     * True when writing another object at @p cycle would not exceed
+     * the signal bandwidth.
+     */
+    bool canWrite(Cycle cycle) const;
+
+    /**
+     * Read one object arriving at @p cycle.  Returns nullptr when no
+     * (more) objects arrive this cycle.
+     */
+    DynamicObjectPtr read(Cycle cycle);
+
+    /** Number of unread objects arriving at @p cycle. */
+    u32 pendingAt(Cycle cycle) const;
+
+    /** Attach a trace writer; every write is then recorded. */
+    void setTracer(SignalTraceWriter* tracer) { _tracer = tracer; }
+
+    /** Attach a statistic counting objects written. */
+    void setWriteStat(Statistic* stat) { _writeStat = stat; }
+
+    /** Lifetime statistics. */
+    u64 totalWrites() const { return _totalWrites; }
+    u64 totalReads() const { return _totalReads; }
+
+  private:
+    struct Slot
+    {
+        Cycle arrival = 0;
+        std::vector<DynamicObjectPtr> objects;
+        u32 readIndex = 0;
+
+        bool
+        drained() const
+        {
+            return readIndex >= objects.size();
+        }
+    };
+
+    Slot& slotFor(Cycle arrival);
+    const Slot& slotFor(Cycle arrival) const;
+
+    std::string _name;
+    u32 _bandwidth;
+    u32 _latency;
+    std::vector<Slot> _slots;
+    SignalTraceWriter* _tracer = nullptr;
+    Statistic* _writeStat = nullptr;
+    u64 _totalWrites = 0;
+    u64 _totalReads = 0;
+};
+
+} // namespace attila::sim
+
+#endif // ATTILA_SIM_SIGNAL_HH

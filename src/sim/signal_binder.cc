@@ -1,0 +1,127 @@
+#include "sim/signal_binder.hh"
+
+#include "sim/box.hh"
+#include "sim/logging.hh"
+#include "sim/statistics.hh"
+
+namespace attila::sim
+{
+
+Signal*
+SignalBinder::registerSignal(Box* box, const std::string& name,
+                             Direction dir, u32 bandwidth, u32 latency)
+{
+    if (!box)
+        panic("signal '", name, "': registered without a box");
+
+    auto it = _entries.find(name);
+    if (it == _entries.end()) {
+        Entry entry;
+        entry.signal = std::make_unique<Signal>(name, bandwidth,
+                                                latency);
+        if (_tracer)
+            entry.signal->setTracer(_tracer);
+        if (_stats) {
+            entry.signal->setWriteStat(
+                &_stats->get("signal." + name, "writes"));
+        }
+        it = _entries.emplace(name, std::move(entry)).first;
+    } else {
+        Signal* sig = it->second.signal.get();
+        if (sig->bandwidth() != bandwidth ||
+            sig->latency() != latency) {
+            fatal("signal '", name, "': interface mismatch — box '",
+                  box->name(), "' registered bandwidth ", bandwidth,
+                  " latency ", latency, " but the signal was created",
+                  " with bandwidth ", sig->bandwidth(), " latency ",
+                  sig->latency());
+        }
+    }
+
+    Entry& entry = it->second;
+    if (dir == Direction::Out) {
+        if (entry.writer) {
+            fatal("signal '", name, "': both '",
+                  entry.writer->name(), "' and '", box->name(),
+                  "' registered as writer");
+        }
+        entry.writer = box;
+    } else {
+        if (entry.reader) {
+            fatal("signal '", name, "': both '",
+                  entry.reader->name(), "' and '", box->name(),
+                  "' registered as reader");
+        }
+        entry.reader = box;
+    }
+    return entry.signal.get();
+}
+
+Signal*
+SignalBinder::find(const std::string& name) const
+{
+    auto it = _entries.find(name);
+    return it == _entries.end() ? nullptr : it->second.signal.get();
+}
+
+void
+SignalBinder::checkConnectivity() const
+{
+    std::string dangling;
+    for (const auto& [name, entry] : _entries) {
+        if (!entry.writer)
+            dangling += "\n  '" + name + "' has no writer";
+        if (!entry.reader)
+            dangling += "\n  '" + name + "' has no reader";
+    }
+    if (!dangling.empty())
+        fatal("unconnected signals:", dangling);
+}
+
+void
+SignalBinder::setTracer(SignalTraceWriter* tracer)
+{
+    _tracer = tracer;
+    for (auto& [name, entry] : _entries)
+        entry.signal->setTracer(tracer);
+}
+
+void
+SignalBinder::attachStatistics(StatisticManager& stats)
+{
+    _stats = &stats;
+    for (auto& [name, entry] : _entries) {
+        entry.signal->setWriteStat(
+            &stats.get("signal." + name, "writes"));
+    }
+}
+
+std::vector<std::string>
+SignalBinder::signalNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(_entries.size());
+    for (const auto& [name, entry] : _entries)
+        out.push_back(name);
+    return out;
+}
+
+std::string
+SignalBinder::writerOf(const std::string& name) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end() || !it->second.writer)
+        return "";
+    return it->second.writer->name();
+}
+
+std::string
+SignalBinder::readerOf(const std::string& name) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end() || !it->second.reader)
+        return "";
+    return it->second.reader->name();
+}
+
+} // namespace attila::sim

@@ -1,0 +1,163 @@
+#include "sim/signal_trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace attila::sim
+{
+
+namespace
+{
+
+/** Escape '|' and newlines so records stay one per line. */
+std::string
+escapeField(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '|':
+            out += "\\p";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            switch (s[i]) {
+              case 'p':
+                out += '|';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              default:
+                out += s[i];
+            }
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+SignalTraceWriter::SignalTraceWriter(const std::string& path)
+    : _out(path)
+{
+    if (!_out)
+        fatal("signal trace: cannot open '", path, "' for writing");
+    _out << "# attila signal trace v1\n";
+}
+
+SignalTraceWriter::~SignalTraceWriter()
+{
+    flush();
+}
+
+void
+SignalTraceWriter::record(Cycle cycle, const std::string& signal_name,
+                          const DynamicObject& obj)
+{
+    _out << cycle << '|' << escapeField(signal_name) << '|'
+         << obj.id() << '|' << obj.trailString() << '|'
+         << obj.color() << '|' << escapeField(obj.info()) << '\n';
+    ++_records;
+}
+
+void
+SignalTraceWriter::flush()
+{
+    _out.flush();
+}
+
+SignalTraceReader::SignalTraceReader(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("signal trace: cannot open '", path, "' for reading");
+
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string field;
+        SignalTraceRecord rec;
+
+        if (!std::getline(ls, field, '|'))
+            fatal("signal trace: malformed line: ", line);
+        rec.cycle = std::stoull(field);
+        if (!std::getline(ls, field, '|'))
+            fatal("signal trace: malformed line: ", line);
+        rec.signal = unescapeField(field);
+        if (!std::getline(ls, field, '|'))
+            fatal("signal trace: malformed line: ", line);
+        rec.objectId = std::stoull(field);
+        if (!std::getline(ls, field, '|'))
+            fatal("signal trace: malformed line: ", line);
+        rec.trail = field;
+        if (!std::getline(ls, field, '|'))
+            fatal("signal trace: malformed line: ", line);
+        rec.color = static_cast<u32>(std::stoul(field));
+        std::getline(ls, field);
+        rec.info = unescapeField(field);
+
+        if (first) {
+            _firstCycle = rec.cycle;
+            first = false;
+        }
+        _firstCycle = std::min(_firstCycle, rec.cycle);
+        _lastCycle = std::max(_lastCycle, rec.cycle);
+        _bySignal[rec.signal].push_back(rec.cycle);
+        _records.push_back(std::move(rec));
+    }
+    for (auto& [name, cycles] : _bySignal)
+        std::sort(cycles.begin(), cycles.end());
+}
+
+std::vector<std::string>
+SignalTraceReader::signalNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(_bySignal.size());
+    for (const auto& [name, cycles] : _bySignal)
+        out.push_back(name);
+    return out;
+}
+
+u64
+SignalTraceReader::activity(const std::string& signal, Cycle from,
+                            Cycle to) const
+{
+    auto it = _bySignal.find(signal);
+    if (it == _bySignal.end())
+        return 0;
+    const auto& cycles = it->second;
+    auto lo = std::lower_bound(cycles.begin(), cycles.end(), from);
+    auto hi = std::lower_bound(cycles.begin(), cycles.end(), to);
+    return static_cast<u64>(hi - lo);
+}
+
+} // namespace attila::sim

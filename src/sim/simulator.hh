@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulator: the clock loop driving boxes and signals.
+ *
+ * The simulator owns the signal binder and statistic manager, keeps
+ * the list of boxes (owned elsewhere, typically by the Gpu), and
+ * advances the whole model one cycle at a time.  Because every
+ * inter-box signal has latency >= 1, the order in which boxes are
+ * clocked within a cycle does not affect the modelled behaviour.
+ */
+
+#ifndef ATTILA_SIM_SIMULATOR_HH
+#define ATTILA_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/box.hh"
+#include "sim/signal_binder.hh"
+#include "sim/signal_trace.hh"
+#include "sim/statistics.hh"
+
+namespace attila::sim
+{
+
+/** Owns the simulation infrastructure and runs the clock loop. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    SignalBinder& binder() { return _binder; }
+    StatisticManager& stats() { return _stats; }
+
+    /** Register a box to be clocked each cycle (not owned). */
+    void
+    addBox(Box* box)
+    {
+        _boxes.push_back(box);
+    }
+
+    /** Enable signal tracing into @p path. */
+    void
+    enableTracing(const std::string& path)
+    {
+        _tracer = std::make_unique<SignalTraceWriter>(path);
+        _binder.setTracer(_tracer.get());
+    }
+
+    SignalTraceWriter* tracer() { return _tracer.get(); }
+
+    Cycle cycle() const { return _cycle; }
+
+    /** Advance the whole model one cycle. */
+    void
+    step()
+    {
+        for (Box* box : _boxes)
+            box->clock(_cycle);
+        ++_cycle;
+        _stats.cycle(_cycle);
+    }
+
+    /** Run for @p cycles cycles. */
+    void
+    run(u64 cycles)
+    {
+        for (u64 i = 0; i < cycles; ++i)
+            step();
+    }
+
+    /** True when every box reports no in-flight work. */
+    bool
+    allEmpty() const
+    {
+        for (const Box* box : _boxes) {
+            if (!box->empty())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    SignalBinder _binder;
+    StatisticManager _stats;
+    std::vector<Box*> _boxes;
+    std::unique_ptr<SignalTraceWriter> _tracer;
+    Cycle _cycle = 0;
+};
+
+} // namespace attila::sim
+
+#endif // ATTILA_SIM_SIMULATOR_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistics collection.
+ *
+ * Every statistic is registered with the StatisticManager under a
+ * "box.stat" name.  Besides lifetime totals, the manager samples each
+ * statistic over fixed cycle windows (10K cycles in the paper's
+ * figures) so time-series such as per-frame texture cache hit rate or
+ * unit utilization can be produced, and dumps everything as CSV —
+ * the paper's statistics file.
+ */
+
+#ifndef ATTILA_SIM_STATISTICS_HH
+#define ATTILA_SIM_STATISTICS_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace attila::sim
+{
+
+/** A monotonically accumulating counter with windowed sampling. */
+class Statistic
+{
+  public:
+    explicit Statistic(std::string name) : _name(std::move(name)) {}
+
+    const std::string& name() const { return _name; }
+
+    /** Accumulate @p n events. */
+    void
+    inc(u64 n = 1)
+    {
+        _total += n;
+        _window += n;
+    }
+
+    /** Lifetime total. */
+    u64 total() const { return _total; }
+
+    /** Value accumulated in the current (unclosed) window. */
+    u64 windowValue() const { return _window; }
+
+    /** Per-window samples closed so far. */
+    const std::vector<u64>& samples() const { return _samples; }
+
+    /** Close the current window, pushing it onto the sample list. */
+    void
+    closeWindow()
+    {
+        _samples.push_back(_window);
+        _window = 0;
+    }
+
+  private:
+    std::string _name;
+    u64 _total = 0;
+    u64 _window = 0;
+    std::vector<u64> _samples;
+};
+
+/** Name server that registers, samples and dumps statistics. */
+class StatisticManager
+{
+  public:
+    /** Get or create the statistic "box.stat". */
+    Statistic& get(const std::string& box_name,
+                   const std::string& stat_name);
+
+    /** Look up an existing statistic; nullptr when absent. */
+    const Statistic* find(const std::string& full_name) const;
+
+    /** Set the sampling window in cycles (0 disables sampling). */
+    void setWindow(Cycle window) { _window = window; }
+    Cycle window() const { return _window; }
+
+    /**
+     * Advance the sampling clock; closes a window on every multiple
+     * of the window size.
+     */
+    void
+    cycle(Cycle now)
+    {
+        if (_window == 0)
+            return;
+        if (now != 0 && now % _window == 0)
+            closeAllWindows();
+    }
+
+    /** Close the current window on every statistic. */
+    void closeAllWindows();
+
+    /** Number of windows closed so far. */
+    std::size_t sampleCount() const { return _sampleCount; }
+
+    /** All registered statistic names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Dump one row per closed window, one column per statistic, as
+     * CSV with a header row.
+     */
+    void writeCsv(std::ostream& os) const;
+
+    /** Dump lifetime totals as "name,total" CSV. */
+    void writeTotalsCsv(std::ostream& os) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Statistic>> _stats;
+    Cycle _window = 0;
+    std::size_t _sampleCount = 0;
+};
+
+} // namespace attila::sim
+
+#endif // ATTILA_SIM_STATISTICS_HH

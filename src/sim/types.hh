@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Basic type aliases shared by every ATTILA module.
+ */
+
+#ifndef ATTILA_SIM_TYPES_HH
+#define ATTILA_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace attila
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/** Simulation time expressed in clock cycles. */
+using Cycle = std::uint64_t;
+
+} // namespace attila
+
+#endif // ATTILA_SIM_TYPES_HH

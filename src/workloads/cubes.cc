@@ -1,0 +1,142 @@
+#include "workloads/cubes.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace attila::workloads
+{
+
+using emu::Vec4;
+using gl::Cap;
+using gpu::Primitive;
+using gpu::StreamFormat;
+
+namespace
+{
+
+/** Interleaved vertex: position, normal, texcoord. */
+struct CubeVertex
+{
+    f32 px, py, pz;
+    f32 nx, ny, nz;
+    f32 u, v;
+};
+
+} // anonymous namespace
+
+void
+CubesWorkload::setup(gl::Context& ctx)
+{
+    // A unit cube as a quad list (exercises Primitive::Quads).
+    struct Face
+    {
+        f32 n[3];
+        f32 c[4][3];
+    };
+    const Face faces[6] = {
+        {{0, 0, 1},
+         {{-1, -1, 1}, {1, -1, 1}, {1, 1, 1}, {-1, 1, 1}}},
+        {{0, 0, -1},
+         {{1, -1, -1}, {-1, -1, -1}, {-1, 1, -1}, {1, 1, -1}}},
+        {{1, 0, 0},
+         {{1, -1, 1}, {1, -1, -1}, {1, 1, -1}, {1, 1, 1}}},
+        {{-1, 0, 0},
+         {{-1, -1, -1}, {-1, -1, 1}, {-1, 1, 1}, {-1, 1, -1}}},
+        {{0, 1, 0}, {{-1, 1, 1}, {1, 1, 1}, {1, 1, -1}, {-1, 1, -1}}},
+        {{0, -1, 0},
+         {{-1, -1, -1}, {1, -1, -1}, {1, -1, 1}, {-1, -1, 1}}},
+    };
+    std::vector<CubeVertex> vertices;
+    for (const Face& face : faces) {
+        const f32 uv[4][2] = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+        for (u32 i = 0; i < 4; ++i) {
+            vertices.push_back({face.c[i][0], face.c[i][1],
+                                face.c[i][2], face.n[0], face.n[1],
+                                face.n[2], uv[i][0], uv[i][1]});
+        }
+    }
+    _vertexCount = static_cast<u32>(vertices.size());
+    std::vector<u8> bytes(vertices.size() * sizeof(CubeVertex));
+    std::memcpy(bytes.data(), vertices.data(), bytes.size());
+    _vertexBuffer = ctx.genBuffer();
+    ctx.bufferData(_vertexBuffer, std::move(bytes));
+
+    Rng rng(0x12345u);
+    _texture = ctx.genTexture();
+    ctx.activeTexture(0);
+    ctx.bindTexture(_texture);
+    ctx.texImage2D(0, emu::TexFormat::RGBA8, _params.textureSize,
+                   _params.textureSize,
+                   makeDiffuseTexture(_params.textureSize, rng));
+    ctx.generateMipmaps();
+    ctx.texFilter(emu::MinFilter::LinearMipLinear, true);
+    ctx.texWrap(emu::WrapMode::Repeat, emu::WrapMode::Repeat);
+    ctx.texEnv(gl::TexEnvMode::Modulate);
+}
+
+void
+CubesWorkload::renderFrame(gl::Context& ctx, u32 frame)
+{
+    const f32 t = static_cast<f32>(frame) * 3.0f;
+
+    ctx.clearColor(0.1f, 0.1f, 0.15f, 1.0f);
+    ctx.clearDepth(1.0f);
+    ctx.clear(gl::clearColorBit | gl::clearDepthBit);
+
+    ctx.enable(Cap::DepthTest);
+    ctx.depthFunc(emu::CompareFunc::Less);
+    ctx.depthMask(true);
+    ctx.enable(Cap::CullFace);
+    ctx.cullFace(gpu::CullMode::Back);
+    ctx.frontFaceCcw(true);
+
+    ctx.matrixMode(gl::MatrixMode::Projection);
+    ctx.loadIdentity();
+    ctx.perspective(55.0f,
+                    static_cast<f32>(_params.width) /
+                        static_cast<f32>(_params.height),
+                    0.5f, 50.0f);
+    ctx.matrixMode(gl::MatrixMode::ModelView);
+    ctx.loadIdentity();
+    ctx.lookAt({0.0f, 3.5f, 9.0f, 1.0f}, {0.0f, 0.0f, 0.0f, 1.0f},
+               {0.0f, 1.0f, 0.0f, 0.0f});
+
+    // Fixed-function lighting: one directional light.
+    ctx.enable(Cap::Lighting);
+    gl::LightState light;
+    light.enabled = true;
+    light.direction = {0.4f, 0.8f, 0.45f, 0.0f}; // Eye space-ish.
+    light.diffuse = {1.0f, 0.95f, 0.85f, 1.0f};
+    light.ambient = {0.1f, 0.1f, 0.12f, 1.0f};
+    ctx.light(0, light);
+    gl::MaterialState material;
+    material.diffuse = {0.9f, 0.9f, 0.9f, 1.0f};
+    material.ambient = {0.4f, 0.4f, 0.4f, 1.0f};
+    ctx.material(material);
+
+    ctx.enable(Cap::Texture2D);
+    ctx.bindTexture(_texture);
+
+    ctx.vertexPointer(_vertexBuffer, StreamFormat::Float3,
+                      sizeof(CubeVertex), 0);
+    ctx.normalPointer(_vertexBuffer, sizeof(CubeVertex), 12);
+    ctx.texCoordPointer(0, _vertexBuffer, StreamFormat::Float2,
+                        sizeof(CubeVertex), 24);
+
+    const u32 cubes = std::max(1u, _params.detail / 2);
+    for (u32 i = 0; i < cubes; ++i) {
+        ctx.pushMatrix();
+        const f32 angle =
+            t + static_cast<f32>(i) * 360.0f / cubes;
+        ctx.rotate(angle, 0.0f, 1.0f, 0.0f);
+        ctx.translate(3.5f, 0.8f * std::sin(t * 0.05f + i), 0.0f);
+        ctx.rotate(t * 1.7f + i * 40.0f, 1.0f, 1.0f, 0.0f);
+        ctx.drawArrays(Primitive::Quads, 0, _vertexCount);
+        ctx.popMatrix();
+    }
+
+    ctx.disable(Cap::Lighting);
+    ctx.swapBuffers();
+}
+
+} // namespace attila::workloads

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CubesWorkload: a quickstart-grade scene — spinning textured,
+ * fixed-function-lit cubes.  Exercises the legacy transform and
+ * lighting path, quad-list primitives and mipmapped texturing.
+ */
+
+#ifndef ATTILA_WORKLOADS_CUBES_HH
+#define ATTILA_WORKLOADS_CUBES_HH
+
+#include "workloads/workload.hh"
+
+namespace attila::workloads
+{
+
+/** Spinning lit cubes. */
+class CubesWorkload : public Workload
+{
+  public:
+    explicit CubesWorkload(const WorkloadParams& params)
+        : Workload(params)
+    {}
+
+    void setup(gl::Context& ctx) override;
+    void renderFrame(gl::Context& ctx, u32 frame) override;
+
+  private:
+    u32 _vertexBuffer = 0;
+    u32 _texture = 0;
+    u32 _vertexCount = 0;
+};
+
+} // namespace attila::workloads
+
+#endif // ATTILA_WORKLOADS_CUBES_HH

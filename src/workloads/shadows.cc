@@ -1,0 +1,520 @@
+#include "workloads/shadows.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace attila::workloads
+{
+
+using emu::Vec4;
+using gl::Cap;
+using gpu::Primitive;
+using gpu::StreamFormat;
+
+namespace
+{
+
+/** Interleaved vertex: position (3f), normal (3f), texcoord (2f). */
+struct SceneVertex
+{
+    f32 px, py, pz;
+    f32 nx, ny, nz;
+    f32 u, v;
+};
+
+constexpr u32 sceneStride = sizeof(SceneVertex);
+
+void
+addQuad(std::vector<SceneVertex>& vertices, std::vector<u16>& indices,
+        const Vec4& a, const Vec4& b, const Vec4& c, const Vec4& d,
+        const Vec4& normal, f32 uvScale)
+{
+    const u16 base = static_cast<u16>(vertices.size());
+    const Vec4 corners[4] = {a, b, c, d};
+    const f32 uvs[4][2] = {{0, 0}, {uvScale, 0}, {uvScale, uvScale},
+                           {0, uvScale}};
+    for (u32 i = 0; i < 4; ++i) {
+        vertices.push_back({corners[i].x, corners[i].y, corners[i].z,
+                            normal.x, normal.y, normal.z, uvs[i][0],
+                            uvs[i][1]});
+    }
+    indices.insert(indices.end(),
+                   {base, static_cast<u16>(base + 1),
+                    static_cast<u16>(base + 2), base,
+                    static_cast<u16>(base + 2),
+                    static_cast<u16>(base + 3)});
+}
+
+void
+addBox(std::vector<SceneVertex>& vertices, std::vector<u16>& indices,
+       f32 cx, f32 cy, f32 cz, f32 s)
+{
+    const f32 h = s / 2;
+    const Vec4 p[8] = {
+        {cx - h, cy - h, cz - h, 1}, {cx + h, cy - h, cz - h, 1},
+        {cx + h, cy - h, cz + h, 1}, {cx - h, cy - h, cz + h, 1},
+        {cx - h, cy + h, cz - h, 1}, {cx + h, cy + h, cz - h, 1},
+        {cx + h, cy + h, cz + h, 1}, {cx - h, cy + h, cz + h, 1},
+    };
+    addQuad(vertices, indices, p[4], p[5], p[6], p[7],
+            {0, 1, 0, 0}, 1.0f); // top
+    addQuad(vertices, indices, p[0], p[1], p[5], p[4],
+            {0, 0, -1, 0}, 1.0f);
+    addQuad(vertices, indices, p[2], p[3], p[7], p[6],
+            {0, 0, 1, 0}, 1.0f);
+    addQuad(vertices, indices, p[1], p[2], p[6], p[5],
+            {1, 0, 0, 0}, 1.0f);
+    addQuad(vertices, indices, p[3], p[0], p[4], p[7],
+            {-1, 0, 0, 0}, 1.0f);
+}
+
+const char* depthVp = R"(!!ARBvp1.0
+# transform only (depth prepass / shadow volumes)
+DP4 result.position.x, program.env[0], vertex.position;
+DP4 result.position.y, program.env[1], vertex.position;
+DP4 result.position.z, program.env[2], vertex.position;
+DP4 result.position.w, program.env[3], vertex.position;
+END
+)";
+
+const char* depthFp = R"(!!ARBfp1.0
+MOV result.color, 0;
+END
+)";
+
+const char* lightVp = R"(!!ARBvp1.0
+# per-light pass: world position and normal to the interpolator
+DP4 result.position.x, program.env[0], vertex.position;
+DP4 result.position.y, program.env[1], vertex.position;
+DP4 result.position.z, program.env[2], vertex.position;
+DP4 result.position.w, program.env[3], vertex.position;
+MOV result.texcoord[0], vertex.texcoord[0];
+MOV result.texcoord[1], vertex.normal;
+MOV result.texcoord[2], vertex.position;
+END
+)";
+
+const char* lightFp = R"(!!ARBfp1.0
+# Doom3-style point light: diffuse * N.L * attenuation
+TEMP l, n, t, col;
+SUB l, program.env[32], fragment.texcoord[2];
+DP3 t.x, l, l;
+RSQ t.y, t.x;
+MUL l, l, t.y;
+DP3 n.w, fragment.texcoord[1], fragment.texcoord[1];
+RSQ n.w, n.w;
+MUL n, fragment.texcoord[1], n.w;
+DP3 t.z, n, l;
+MAX t.z, t.z, 0;
+MAD t.w, t.x, program.env[34].x, 1;
+RCP t.w, t.w;
+MUL t.z, t.z, t.w;
+TEX col, fragment.texcoord[0], texture[0], 2D;
+MUL col, col, program.env[33];
+MUL result.color, col, t.z;
+END
+)";
+
+const char* grateFp = R"(!!ARBfp1.0
+# alpha-tested grate: the library injects KIL for the alpha test
+TEMP c;
+TEX c, fragment.texcoord[0], texture[0], 2D;
+MOV result.color, c;
+END
+)";
+
+} // anonymous namespace
+
+void
+ShadowsWorkload::buildGeometry(gl::Context& ctx)
+{
+    // Room: floor + 4 walls + ceiling, normals inward.
+    std::vector<SceneVertex> rv;
+    std::vector<u16> ri;
+    const f32 R = 12.0f;  // Half extent.
+    const f32 H = 6.0f;   // Height.
+    addQuad(rv, ri, {-R, 0, -R, 1}, {R, 0, -R, 1}, {R, 0, R, 1},
+            {-R, 0, R, 1}, {0, 1, 0, 0}, 6.0f); // floor
+    addQuad(rv, ri, {-R, H, R, 1}, {R, H, R, 1}, {R, H, -R, 1},
+            {-R, H, -R, 1}, {0, -1, 0, 0}, 6.0f); // ceiling
+    addQuad(rv, ri, {-R, 0, -R, 1}, {-R, H, -R, 1}, {R, H, -R, 1},
+            {R, 0, -R, 1}, {0, 0, 1, 0}, 4.0f);
+    addQuad(rv, ri, {R, 0, R, 1}, {R, H, R, 1}, {-R, H, R, 1},
+            {-R, 0, R, 1}, {0, 0, -1, 0}, 4.0f);
+    addQuad(rv, ri, {-R, 0, R, 1}, {-R, H, R, 1}, {-R, H, -R, 1},
+            {-R, 0, -R, 1}, {1, 0, 0, 0}, 4.0f);
+    addQuad(rv, ri, {R, 0, -R, 1}, {R, H, -R, 1}, {R, H, R, 1},
+            {R, 0, R, 1}, {-1, 0, 0, 0}, 4.0f);
+
+    std::vector<u8> bytes(rv.size() * sceneStride);
+    std::memcpy(bytes.data(), rv.data(), bytes.size());
+    _room.vertexBuffer = ctx.genBuffer();
+    ctx.bufferData(_room.vertexBuffer, std::move(bytes));
+    std::vector<u8> ibytes(ri.size() * 2);
+    std::memcpy(ibytes.data(), ri.data(), ibytes.size());
+    _room.indexBuffer = ctx.genBuffer();
+    ctx.bufferData(_room.indexBuffer, std::move(ibytes));
+    _room.indexCount = static_cast<u32>(ri.size());
+
+    // Boxes (the occluders).
+    Rng rng(0xcafef00du);
+    std::vector<SceneVertex> bv;
+    std::vector<u16> bi;
+    const u32 numBoxes = std::max(2u, _params.detail / 2);
+    _boxCenters.clear();
+    for (u32 i = 0; i < numBoxes; ++i) {
+        const f32 x = rng.range(-8.0f, 8.0f);
+        const f32 z = rng.range(-8.0f, 8.0f);
+        const f32 s = rng.range(1.0f, 2.2f);
+        addBox(bv, bi, x, s / 2, z, s);
+        _boxCenters.push_back({x, s / 2, z, s});
+    }
+    bytes.assign(bv.size() * sceneStride, 0);
+    std::memcpy(bytes.data(), bv.data(), bytes.size());
+    _boxes.vertexBuffer = ctx.genBuffer();
+    ctx.bufferData(_boxes.vertexBuffer, std::move(bytes));
+    ibytes.assign(bi.size() * 2, 0);
+    std::memcpy(ibytes.data(), bi.data(), ibytes.size());
+    _boxes.indexBuffer = ctx.genBuffer();
+    ctx.bufferData(_boxes.indexBuffer, std::move(ibytes));
+    _boxes.indexCount = static_cast<u32>(bi.size());
+
+    // Grate: a free-standing alpha-tested quad.
+    std::vector<SceneVertex> gv;
+    std::vector<u16> gi;
+    addQuad(gv, gi, {-3, 0, 5, 1}, {3, 0, 5, 1}, {3, 4, 5, 1},
+            {-3, 4, 5, 1}, {0, 0, -1, 0}, 3.0f);
+    bytes.assign(gv.size() * sceneStride, 0);
+    std::memcpy(bytes.data(), gv.data(), bytes.size());
+    _grate.vertexBuffer = ctx.genBuffer();
+    ctx.bufferData(_grate.vertexBuffer, std::move(bytes));
+    ibytes.assign(gi.size() * 2, 0);
+    std::memcpy(ibytes.data(), gi.data(), ibytes.size());
+    _grate.indexBuffer = ctx.genBuffer();
+    ctx.bufferData(_grate.indexBuffer, std::move(ibytes));
+    _grate.indexCount = static_cast<u32>(gi.size());
+}
+
+void
+ShadowsWorkload::buildShadowVolumes(gl::Context& ctx)
+{
+    // Per light: one static volume mesh extruding every box's top
+    // face away from the light (a closed prism: near cap, sides,
+    // far cap).  Positions only.
+    const f32 D = 40.0f; // Extrusion distance.
+    for (const Vec4& lp : _lightPositions) {
+        std::vector<f32> verts;
+        std::vector<u16> idx;
+        auto emit = [&](const Vec4& p) -> u16 {
+            verts.insert(verts.end(), {p.x, p.y, p.z});
+            return static_cast<u16>(verts.size() / 3 - 1);
+        };
+        for (const Vec4& box : _boxCenters) {
+            const f32 h = box.w / 2;
+            const f32 top = box.y + h;
+            const Vec4 q[4] = {
+                {box.x - h, top, box.z - h, 1},
+                {box.x + h, top, box.z - h, 1},
+                {box.x + h, top, box.z + h, 1},
+                {box.x - h, top, box.z + h, 1},
+            };
+            Vec4 e[4];
+            for (u32 i = 0; i < 4; ++i) {
+                Vec4 dir = q[i] - lp;
+                const f32 len = std::sqrt(dot3(dir, dir));
+                dir = dir * (len > 0 ? 1.0f / len : 0.0f);
+                e[i] = q[i] + dir * D;
+                e[i].w = 1.0f;
+            }
+            u16 qi[4], ei[4];
+            for (u32 i = 0; i < 4; ++i)
+                qi[i] = emit(q[i]);
+            for (u32 i = 0; i < 4; ++i)
+                ei[i] = emit(e[i]);
+            // Near cap.
+            idx.insert(idx.end(), {qi[0], qi[1], qi[2], qi[0],
+                                   qi[2], qi[3]});
+            // Far cap (reversed).
+            idx.insert(idx.end(), {ei[2], ei[1], ei[0], ei[3],
+                                   ei[2], ei[0]});
+            // Sides.
+            for (u32 i = 0; i < 4; ++i) {
+                const u32 j = (i + 1) % 4;
+                idx.insert(idx.end(),
+                           {qi[i], qi[j], ei[j], qi[i], ei[j],
+                            ei[i]});
+            }
+        }
+        Mesh volume;
+        std::vector<u8> bytes(verts.size() * 4);
+        std::memcpy(bytes.data(), verts.data(), bytes.size());
+        volume.vertexBuffer = ctx.genBuffer();
+        ctx.bufferData(volume.vertexBuffer, std::move(bytes));
+        std::vector<u8> ibytes(idx.size() * 2);
+        std::memcpy(ibytes.data(), idx.data(), ibytes.size());
+        volume.indexBuffer = ctx.genBuffer();
+        ctx.bufferData(volume.indexBuffer, std::move(ibytes));
+        volume.indexCount = static_cast<u32>(idx.size());
+        _volumes.push_back(volume);
+    }
+}
+
+void
+ShadowsWorkload::buildPrograms(gl::Context& ctx)
+{
+    _depthProgV = ctx.genProgram();
+    ctx.programString(_depthProgV, depthVp);
+    _depthProgF = ctx.genProgram();
+    ctx.programString(_depthProgF, depthFp);
+    _lightProgV = ctx.genProgram();
+    ctx.programString(_lightProgV, lightVp);
+    _lightProgF = ctx.genProgram();
+    ctx.programString(_lightProgF, lightFp);
+    _grateProgF = ctx.genProgram();
+    ctx.programString(_grateProgF, grateFp);
+}
+
+void
+ShadowsWorkload::setup(gl::Context& ctx)
+{
+    _lightPositions = {{4.0f, 5.0f, 2.0f, 1.0f},
+                       {-5.0f, 4.5f, -3.0f, 1.0f}};
+    _lightColors = {{1.0f, 0.85f, 0.6f, 1.0f},
+                    {0.5f, 0.6f, 1.0f, 1.0f}};
+
+    buildGeometry(ctx);
+    buildShadowVolumes(ctx);
+    buildPrograms(ctx);
+
+    Rng rng(0xfeedbeefu);
+    const u32 ts = _params.textureSize;
+    _diffuseTex = ctx.genTexture();
+    ctx.activeTexture(0);
+    ctx.bindTexture(_diffuseTex);
+    ctx.texImage2D(0, emu::TexFormat::RGBA8, ts, ts,
+                   makeDiffuseTexture(ts, rng));
+    ctx.generateMipmaps();
+    ctx.texFilter(emu::MinFilter::LinearMipLinear, true);
+    ctx.texWrap(emu::WrapMode::Repeat, emu::WrapMode::Repeat);
+    ctx.texMaxAnisotropy(_params.anisotropy);
+    ctx.texEnv(gl::TexEnvMode::Modulate);
+
+    _grateTex = ctx.genTexture();
+    ctx.bindTexture(_grateTex);
+    ctx.texImage2D(0, emu::TexFormat::DXT3, ts, ts,
+                   encodeDxt3(makeGrateTexture(ts), ts, ts));
+    ctx.texFilter(emu::MinFilter::Linear, true);
+    ctx.texWrap(emu::WrapMode::Repeat, emu::WrapMode::Repeat);
+    ctx.texEnv(gl::TexEnvMode::Replace);
+    ctx.bindTexture(_diffuseTex);
+}
+
+void
+ShadowsWorkload::renderFrame(gl::Context& ctx, u32 frame)
+{
+    const f32 t = static_cast<f32>(frame) * 0.1f;
+
+    ctx.clearColor(0.0f, 0.0f, 0.0f, 1.0f);
+    ctx.clearDepth(1.0f);
+    ctx.clearStencil(0);
+    ctx.clear(gl::clearColorBit | gl::clearDepthBit |
+              gl::clearStencilBit);
+
+    ctx.matrixMode(gl::MatrixMode::Projection);
+    ctx.loadIdentity();
+    ctx.perspective(70.0f,
+                    static_cast<f32>(_params.width) /
+                        static_cast<f32>(_params.height),
+                    0.3f, 100.0f);
+    ctx.matrixMode(gl::MatrixMode::ModelView);
+    ctx.loadIdentity();
+    const Vec4 eye{9.0f * std::sin(t), 3.0f, 9.0f * std::cos(t),
+                   1.0f};
+    ctx.lookAt(eye, {0.0f, 1.0f, 0.0f, 1.0f},
+               {0.0f, 1.0f, 0.0f, 0.0f});
+
+    ctx.enable(Cap::DepthTest);
+    ctx.depthFunc(emu::CompareFunc::Less);
+    ctx.depthMask(true);
+    ctx.disable(Cap::CullFace);
+    ctx.disable(Cap::Blend);
+    ctx.disable(Cap::StencilTest);
+    ctx.enable(Cap::Texture2D); // Unit 0 for all passes.
+
+    auto bindScene = [&](const Mesh& mesh) {
+        ctx.vertexPointer(mesh.vertexBuffer, StreamFormat::Float3,
+                          sceneStride, 0);
+        ctx.normalPointer(mesh.vertexBuffer, sceneStride, 12);
+        ctx.texCoordPointer(0, mesh.vertexBuffer,
+                            StreamFormat::Float2, sceneStride, 24);
+    };
+    auto drawScene = [&]() {
+        bindScene(_room);
+        ctx.drawElements(Primitive::Triangles, _room.indexCount,
+                         _room.indexBuffer, 0, false);
+        bindScene(_boxes);
+        ctx.drawElements(Primitive::Triangles, _boxes.indexCount,
+                         _boxes.indexBuffer, 0, false);
+    };
+
+    // --- 1. Depth prepass (colour writes off) ----------------------
+    ctx.enable(Cap::VertexProgram);
+    ctx.enable(Cap::FragmentProgram);
+    ctx.bindProgramVertex(_depthProgV);
+    ctx.bindProgramFragment(_depthProgF);
+    ctx.colorMask(false, false, false, false);
+    drawScene();
+    ctx.colorMask(true, true, true, true);
+
+    // --- 2. Ambient pass (fixed function, dim modulate) ------------
+    ctx.disable(Cap::VertexProgram);
+    ctx.disable(Cap::FragmentProgram);
+    ctx.depthFunc(emu::CompareFunc::LessEqual);
+    ctx.depthMask(false);
+    ctx.color(0.18f, 0.18f, 0.2f, 1.0f);
+    drawScene();
+
+    // --- 3. Per-light shadow volume + additive light pass ----------
+    for (u32 l = 0; l < _lightPositions.size(); ++l) {
+        // 3a. Stencil the shadow volume (z-pass counting).
+        ctx.enable(Cap::VertexProgram);
+        ctx.enable(Cap::FragmentProgram);
+        ctx.bindProgramVertex(_depthProgV);
+        ctx.bindProgramFragment(_depthProgF);
+        ctx.colorMask(false, false, false, false);
+        ctx.enable(Cap::StencilTest);
+        ctx.stencilFunc(emu::CompareFunc::Always, 0, 0xff);
+        ctx.stencilMask(0xff);
+        ctx.enable(Cap::CullFace);
+        ctx.depthFunc(emu::CompareFunc::Less);
+
+        ctx.vertexPointer(_volumes[l].vertexBuffer,
+                          StreamFormat::Float3, 12, 0);
+        ctx.disableAttrib(gl::attrNormal);
+        ctx.disableAttrib(gl::attrTexCoord0);
+
+        if (_params.twoSidedVolumes) {
+            // Single pass with double-sided stencil (paper §7
+            // extension): front faces increment, back faces
+            // decrement, no culling.
+            ctx.disable(Cap::CullFace);
+            ctx.enable(Cap::StencilTwoSide);
+            ctx.stencilOp(emu::StencilOp::Keep,
+                          emu::StencilOp::Keep,
+                          emu::StencilOp::IncrWrap);
+            ctx.stencilFuncBack(emu::CompareFunc::Always, 0, 0xff);
+            ctx.stencilOpBack(emu::StencilOp::Keep,
+                              emu::StencilOp::Keep,
+                              emu::StencilOp::DecrWrap);
+            ctx.drawElements(Primitive::Triangles,
+                             _volumes[l].indexCount,
+                             _volumes[l].indexBuffer, 0, false);
+            ctx.disable(Cap::StencilTwoSide);
+        } else {
+            // Front faces increment...
+            ctx.cullFace(gpu::CullMode::Back);
+            ctx.stencilOp(emu::StencilOp::Keep,
+                          emu::StencilOp::Keep,
+                          emu::StencilOp::IncrWrap);
+            ctx.drawElements(Primitive::Triangles,
+                             _volumes[l].indexCount,
+                             _volumes[l].indexBuffer, 0, false);
+            // ...back faces decrement.
+            ctx.cullFace(gpu::CullMode::Front);
+            ctx.stencilOp(emu::StencilOp::Keep,
+                          emu::StencilOp::Keep,
+                          emu::StencilOp::DecrWrap);
+            ctx.drawElements(Primitive::Triangles,
+                             _volumes[l].indexCount,
+                             _volumes[l].indexBuffer, 0, false);
+        }
+        ctx.disable(Cap::CullFace);
+        ctx.colorMask(true, true, true, true);
+
+        // 3b. Additive lighting where unshadowed (stencil == 0).
+        ctx.stencilFunc(emu::CompareFunc::Equal, 0, 0xff);
+        ctx.stencilOp(emu::StencilOp::Keep, emu::StencilOp::Keep,
+                      emu::StencilOp::Keep);
+        ctx.enable(Cap::Blend);
+        ctx.blendFunc(emu::BlendFactor::One, emu::BlendFactor::One);
+        ctx.depthFunc(emu::CompareFunc::LessEqual);
+        ctx.bindProgramVertex(_lightProgV);
+        ctx.bindProgramFragment(_lightProgF);
+        ctx.programEnvParam(emu::ShaderTarget::Fragment, 32,
+                            _lightPositions[l]);
+        ctx.programEnvParam(emu::ShaderTarget::Fragment, 33,
+                            _lightColors[l]);
+        ctx.programEnvParam(emu::ShaderTarget::Fragment, 34,
+                            {0.02f, 0.0f, 0.0f, 0.0f});
+        drawScene();
+        ctx.disable(Cap::Blend);
+
+        // 3c. Undo pass: restore the stencil to zero for the next
+        // light by counting in the opposite direction.
+        ctx.colorMask(false, false, false, false);
+        ctx.stencilFunc(emu::CompareFunc::Always, 0, 0xff);
+        ctx.bindProgramVertex(_depthProgV);
+        ctx.bindProgramFragment(_depthProgF);
+        ctx.enable(Cap::CullFace);
+        ctx.depthFunc(emu::CompareFunc::Less);
+        ctx.vertexPointer(_volumes[l].vertexBuffer,
+                          StreamFormat::Float3, 12, 0);
+        ctx.disableAttrib(gl::attrNormal);
+        ctx.disableAttrib(gl::attrTexCoord0);
+        if (_params.twoSidedVolumes) {
+            ctx.disable(Cap::CullFace);
+            ctx.enable(Cap::StencilTwoSide);
+            ctx.stencilOp(emu::StencilOp::Keep,
+                          emu::StencilOp::Keep,
+                          emu::StencilOp::DecrWrap);
+            ctx.stencilFuncBack(emu::CompareFunc::Always, 0, 0xff);
+            ctx.stencilOpBack(emu::StencilOp::Keep,
+                              emu::StencilOp::Keep,
+                              emu::StencilOp::IncrWrap);
+            ctx.drawElements(Primitive::Triangles,
+                             _volumes[l].indexCount,
+                             _volumes[l].indexBuffer, 0, false);
+            ctx.disable(Cap::StencilTwoSide);
+        } else {
+            ctx.cullFace(gpu::CullMode::Back);
+            ctx.stencilOp(emu::StencilOp::Keep,
+                          emu::StencilOp::Keep,
+                          emu::StencilOp::DecrWrap);
+            ctx.drawElements(Primitive::Triangles,
+                             _volumes[l].indexCount,
+                             _volumes[l].indexBuffer, 0, false);
+            ctx.cullFace(gpu::CullMode::Front);
+            ctx.stencilOp(emu::StencilOp::Keep,
+                          emu::StencilOp::Keep,
+                          emu::StencilOp::IncrWrap);
+            ctx.drawElements(Primitive::Triangles,
+                             _volumes[l].indexCount,
+                             _volumes[l].indexBuffer, 0, false);
+        }
+        ctx.disable(Cap::CullFace);
+        ctx.colorMask(true, true, true, true);
+        ctx.disable(Cap::StencilTest);
+    }
+
+    // --- 4. Alpha-tested grate (KIL injection) ----------------------
+    ctx.bindTexture(_grateTex);
+    ctx.enable(Cap::AlphaTest);
+    ctx.alphaFunc(emu::CompareFunc::Greater, 0.5f);
+    ctx.disable(Cap::VertexProgram); // FF vertex (needs texcoords).
+    ctx.enable(Cap::FragmentProgram);
+    ctx.bindProgramFragment(_grateProgF);
+    ctx.depthFunc(emu::CompareFunc::LessEqual);
+    ctx.depthMask(true);
+    bindScene(_grate);
+    ctx.drawElements(Primitive::Triangles, _grate.indexCount,
+                     _grate.indexBuffer, 0, false);
+    ctx.disable(Cap::AlphaTest);
+    ctx.disable(Cap::FragmentProgram);
+    ctx.bindTexture(_diffuseTex);
+    ctx.depthMask(true);
+    ctx.depthFunc(emu::CompareFunc::Less);
+
+    ctx.swapBuffers();
+}
+
+} // namespace attila::workloads

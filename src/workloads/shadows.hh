@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ShadowsWorkload: the Doom3-style scene (DESIGN.md §1).
+ *
+ * A room with boxes rendered Doom3-style: a depth-only prepass, then
+ * per light a stencil shadow-volume pass (z-pass counting with
+ * separate front/back passes) and an additive lighting pass using
+ * ARB-style user shader programs.  A final alpha-tested "grate" pass
+ * exercises the library's KIL injection into user fragment programs.
+ * This drives exactly the hardware the paper's trDemo2 trace does:
+ * fast Z clears, the Hierarchical Z buffer, heavy ROPz stencil
+ * traffic and additive blending.
+ */
+
+#ifndef ATTILA_WORKLOADS_SHADOWS_HH
+#define ATTILA_WORKLOADS_SHADOWS_HH
+
+#include "workloads/workload.hh"
+
+namespace attila::workloads
+{
+
+/** The stencil shadow-volume scene. */
+class ShadowsWorkload : public Workload
+{
+  public:
+    explicit ShadowsWorkload(const WorkloadParams& params)
+        : Workload(params)
+    {}
+
+    void setup(gl::Context& ctx) override;
+    void renderFrame(gl::Context& ctx, u32 frame) override;
+
+  private:
+    struct Mesh
+    {
+        u32 vertexBuffer = 0;
+        u32 indexBuffer = 0;
+        u32 indexCount = 0;
+    };
+
+    void buildGeometry(gl::Context& ctx);
+    void buildShadowVolumes(gl::Context& ctx);
+    void buildPrograms(gl::Context& ctx);
+
+    Mesh _room;
+    Mesh _boxes;
+    /** One static extruded volume mesh per light. */
+    std::vector<Mesh> _volumes;
+    Mesh _grate;
+    /** Box centers (x, y, z) and size (w). */
+    std::vector<emu::Vec4> _boxCenters;
+
+    u32 _diffuseTex = 0;
+    u32 _grateTex = 0;
+
+    u32 _depthProgV = 0, _depthProgF = 0;
+    u32 _lightProgV = 0, _lightProgF = 0;
+    u32 _grateProgF = 0;
+
+    std::vector<emu::Vec4> _lightPositions;
+    std::vector<emu::Vec4> _lightColors;
+};
+
+} // namespace attila::workloads
+
+#endif // ATTILA_WORKLOADS_SHADOWS_HH

@@ -1,0 +1,243 @@
+#include "workloads/terrain.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace attila::workloads
+{
+
+using emu::Vec4;
+using gl::Cap;
+using gpu::Primitive;
+using gpu::StreamFormat;
+
+namespace
+{
+
+/** Interleaved terrain vertex: position (3f) + 2 texcoords (2f). */
+struct TerrainVertex
+{
+    f32 x, y, z;
+    f32 u0, v0;
+    f32 u1, v1;
+};
+
+f32
+terrainHeight(f32 x, f32 z)
+{
+    return 0.6f * std::sin(x * 0.7f) * std::cos(z * 0.5f) +
+           0.25f * std::sin(x * 2.3f + z * 1.7f);
+}
+
+} // anonymous namespace
+
+void
+TerrainWorkload::setup(gl::Context& ctx)
+{
+    Rng rng(0xdeadbeefu);
+
+    // --- Terrain mesh ----------------------------------------------
+    _gridSize = std::max(4u, _params.detail * 4);
+    const u32 n = _gridSize;
+    std::vector<TerrainVertex> vertices;
+    vertices.reserve((n + 1) * (n + 1));
+    const f32 extent = 40.0f;
+    for (u32 gz = 0; gz <= n; ++gz) {
+        for (u32 gx = 0; gx <= n; ++gx) {
+            const f32 x = (static_cast<f32>(gx) / n - 0.5f) * extent;
+            const f32 z = (static_cast<f32>(gz) / n - 0.5f) * extent;
+            TerrainVertex v;
+            v.x = x;
+            v.y = terrainHeight(x, z);
+            v.z = z;
+            // Diffuse repeats densely; the lightmap stretches once
+            // over the whole terrain (UT-style).
+            v.u0 = static_cast<f32>(gx) * 0.8f;
+            v.v0 = static_cast<f32>(gz) * 0.8f;
+            v.u1 = static_cast<f32>(gx) / n;
+            v.v1 = static_cast<f32>(gz) / n;
+            vertices.push_back(v);
+        }
+    }
+    std::vector<u8> vbytes(vertices.size() * sizeof(TerrainVertex));
+    std::memcpy(vbytes.data(), vertices.data(), vbytes.size());
+    _vertexBuffer = ctx.genBuffer();
+    ctx.bufferData(_vertexBuffer, std::move(vbytes));
+
+    std::vector<u16> indices;
+    indices.reserve(n * n * 6);
+    for (u32 gz = 0; gz < n; ++gz) {
+        for (u32 gx = 0; gx < n; ++gx) {
+            const u16 a = static_cast<u16>(gz * (n + 1) + gx);
+            const u16 b = static_cast<u16>(a + 1);
+            const u16 c = static_cast<u16>(a + n + 1);
+            const u16 d = static_cast<u16>(c + 1);
+            indices.insert(indices.end(), {a, c, b, b, c, d});
+        }
+    }
+    _indexCount = static_cast<u32>(indices.size());
+    std::vector<u8> ibytes(indices.size() * 2);
+    std::memcpy(ibytes.data(), indices.data(), ibytes.size());
+    _indexBuffer = ctx.genBuffer();
+    ctx.bufferData(_indexBuffer, std::move(ibytes));
+
+    // --- Sky quad ---------------------------------------------------
+    const TerrainVertex sky[4] = {
+        {-60.0f, 12.0f, -60.0f, 0.0f, 0.0f, 0.0f, 0.0f},
+        {60.0f, 12.0f, -60.0f, 4.0f, 0.0f, 0.0f, 0.0f},
+        {60.0f, 12.0f, 60.0f, 4.0f, 4.0f, 0.0f, 0.0f},
+        {-60.0f, 12.0f, 60.0f, 0.0f, 4.0f, 0.0f, 0.0f},
+    };
+    std::vector<u8> sbytes(sizeof(sky));
+    std::memcpy(sbytes.data(), sky, sizeof(sky));
+    _skyBuffer = ctx.genBuffer();
+    ctx.bufferData(_skyBuffer, std::move(sbytes));
+
+    // --- Textures ---------------------------------------------------
+    const u32 ts = _params.textureSize;
+    {
+        // Diffuse: DXT1-compressed with a full hand-built mip chain.
+        _diffuseTex = ctx.genTexture();
+        ctx.activeTexture(0);
+        ctx.bindTexture(_diffuseTex);
+        std::vector<u8> rgba = makeDiffuseTexture(ts, rng);
+        u32 size = ts;
+        u32 level = 0;
+        std::vector<u8> current = rgba;
+        while (true) {
+            ctx.texImage2D(level, emu::TexFormat::DXT1, size, size,
+                           encodeDxt1(current, size, size));
+            if (size == 1)
+                break;
+            // Box-filter downsample for the next level.
+            const u32 half = size / 2;
+            std::vector<u8> down(half * half * 4);
+            for (u32 y = 0; y < half; ++y) {
+                for (u32 x = 0; x < half; ++x) {
+                    for (u32 c = 0; c < 4; ++c) {
+                        u32 acc = 0;
+                        for (u32 d = 0; d < 4; ++d) {
+                            acc += current[((y * 2 + d / 2) * size +
+                                            x * 2 + d % 2) * 4 + c];
+                        }
+                        down[(y * half + x) * 4 + c] =
+                            static_cast<u8>(acc / 4);
+                    }
+                }
+            }
+            current = std::move(down);
+            size = half;
+            ++level;
+        }
+        ctx.texFilter(emu::MinFilter::LinearMipLinear, true);
+        ctx.texWrap(emu::WrapMode::Repeat, emu::WrapMode::Repeat);
+        ctx.texMaxAnisotropy(_params.anisotropy);
+        ctx.texEnv(gl::TexEnvMode::Modulate);
+    }
+    {
+        // Lightmap on unit 1.
+        _lightmapTex = ctx.genTexture();
+        ctx.activeTexture(1);
+        ctx.bindTexture(_lightmapTex);
+        ctx.texImage2D(0, emu::TexFormat::RGBA8, ts / 2, ts / 2,
+                       makeLightmapTexture(ts / 2, rng));
+        ctx.generateMipmaps();
+        ctx.texFilter(emu::MinFilter::LinearMipLinear, true);
+        ctx.texWrap(emu::WrapMode::Clamp, emu::WrapMode::Clamp);
+        ctx.texEnv(gl::TexEnvMode::Modulate);
+    }
+    {
+        // Sky texture on unit 0 when drawing the sky.
+        _skyTex = ctx.genTexture();
+        ctx.activeTexture(0);
+        ctx.bindTexture(_skyTex);
+        Rng skyRng(0x5eedu);
+        ctx.texImage2D(0, emu::TexFormat::RGBA8, ts, ts,
+                       makeLightmapTexture(ts, skyRng));
+        ctx.generateMipmaps();
+        ctx.texFilter(emu::MinFilter::LinearMipLinear, true);
+        ctx.texWrap(emu::WrapMode::Repeat, emu::WrapMode::Repeat);
+        ctx.texEnv(gl::TexEnvMode::Replace);
+        ctx.bindTexture(_diffuseTex);
+    }
+}
+
+void
+TerrainWorkload::renderFrame(gl::Context& ctx, u32 frame)
+{
+    const f32 t = static_cast<f32>(frame) * 0.12f;
+
+    ctx.clearColor(0.45f, 0.55f, 0.7f, 1.0f);
+    ctx.clearDepth(1.0f);
+    ctx.clear(gl::clearColorBit | gl::clearDepthBit);
+
+    ctx.enable(Cap::DepthTest);
+    ctx.depthFunc(emu::CompareFunc::Less);
+    ctx.depthMask(true);
+    // The heightfield is viewed from above only; face culling is
+    // left off (its winding flips under the orbiting camera).
+    ctx.disable(Cap::CullFace);
+    ctx.frontFaceCcw(true);
+
+    ctx.matrixMode(gl::MatrixMode::Projection);
+    ctx.loadIdentity();
+    ctx.perspective(60.0f,
+                    static_cast<f32>(_params.width) /
+                        static_cast<f32>(_params.height),
+                    0.5f, 200.0f);
+
+    ctx.matrixMode(gl::MatrixMode::ModelView);
+    ctx.loadIdentity();
+    const Vec4 eye{12.0f * std::sin(t), 4.5f, 12.0f * std::cos(t),
+                   1.0f};
+    const Vec4 at{0.0f, 0.5f, 0.0f, 1.0f};
+    ctx.lookAt(eye, at, {0.0f, 1.0f, 0.0f, 0.0f});
+
+    // Fog over the terrain (fixed function, emulated in the
+    // generated fragment program).
+    gl::FogState fogState;
+    fogState.mode = gl::FogMode::Linear;
+    fogState.color = {0.45f, 0.55f, 0.7f, 1.0f};
+    fogState.start = 15.0f;
+    fogState.end = 60.0f;
+    ctx.fog(fogState);
+    ctx.enable(Cap::Fog);
+
+    // --- Terrain pass: diffuse x lightmap --------------------------
+    ctx.activeTexture(0);
+    ctx.bindTexture(_diffuseTex);
+    ctx.enable(Cap::Texture2D);
+    ctx.activeTexture(1);
+    ctx.bindTexture(_lightmapTex);
+    ctx.enable(Cap::Texture2D);
+
+    ctx.color(1.0f, 1.0f, 1.0f, 1.0f);
+    const u32 stride = sizeof(TerrainVertex);
+    ctx.vertexPointer(_vertexBuffer, StreamFormat::Float3, stride,
+                      0);
+    ctx.texCoordPointer(0, _vertexBuffer, StreamFormat::Float2,
+                        stride, 12);
+    ctx.texCoordPointer(1, _vertexBuffer, StreamFormat::Float2,
+                        stride, 20);
+    ctx.drawElements(Primitive::Triangles, _indexCount,
+                     _indexBuffer, 0, false);
+
+    // --- Sky pass: single texture, no depth write ------------------
+    ctx.activeTexture(1);
+    ctx.disable(Cap::Texture2D);
+    ctx.activeTexture(0);
+    ctx.bindTexture(_skyTex);
+    ctx.depthMask(false);
+    ctx.disableAttrib(gl::attrTexCoord0 + 1);
+    ctx.vertexPointer(_skyBuffer, StreamFormat::Float3, stride, 0);
+    ctx.texCoordPointer(0, _skyBuffer, StreamFormat::Float2, stride,
+                        12);
+    ctx.drawArrays(Primitive::Quads, 0, 4);
+    ctx.depthMask(true);
+    ctx.disable(Cap::Fog);
+    ctx.bindTexture(_diffuseTex);
+
+    ctx.swapBuffers();
+}
+
+} // namespace attila::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TerrainWorkload: the UT2004-style scene (DESIGN.md §1).
+ *
+ * A heightfield terrain rendered with diffuse x lightmap
+ * multitexturing (the dominant fragment workload of 2004-era
+ * engines), a textured sky quad, and a fly-over camera.  The diffuse
+ * texture is DXT1-compressed and mipmapped; anisotropic filtering is
+ * configurable.  Uses the fixed-function pipeline with fog.
+ */
+
+#ifndef ATTILA_WORKLOADS_TERRAIN_HH
+#define ATTILA_WORKLOADS_TERRAIN_HH
+
+#include "workloads/workload.hh"
+
+namespace attila::workloads
+{
+
+/** The terrain fly-over scene. */
+class TerrainWorkload : public Workload
+{
+  public:
+    explicit TerrainWorkload(const WorkloadParams& params)
+        : Workload(params)
+    {}
+
+    void setup(gl::Context& ctx) override;
+    void renderFrame(gl::Context& ctx, u32 frame) override;
+
+  private:
+    u32 _vertexBuffer = 0;
+    u32 _indexBuffer = 0;
+    u32 _skyBuffer = 0;
+    u32 _diffuseTex = 0;
+    u32 _lightmapTex = 0;
+    u32 _skyTex = 0;
+    u32 _indexCount = 0;
+    u32 _gridSize = 0;
+};
+
+} // namespace attila::workloads
+
+#endif // ATTILA_WORKLOADS_TERRAIN_HH

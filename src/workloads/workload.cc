@@ -1,0 +1,215 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace attila::workloads
+{
+
+std::vector<u8>
+makeDiffuseTexture(u32 size, Rng& rng)
+{
+    std::vector<u8> img(size * size * 4);
+    for (u32 y = 0; y < size; ++y) {
+        for (u32 x = 0; x < size; ++x) {
+            // Checker base with per-texel noise: plausible albedo
+            // statistics for the texture cache.
+            const bool check = ((x / 8) ^ (y / 8)) & 1;
+            const u32 base = check ? 150 : 90;
+            const u32 noise = static_cast<u32>(rng.next() % 60);
+            u8* px = &img[(y * size + x) * 4];
+            px[0] = static_cast<u8>(base + noise / 2);
+            px[1] = static_cast<u8>(base / 2 + noise);
+            px[2] = static_cast<u8>(60 + noise / 3);
+            px[3] = 255;
+        }
+    }
+    return img;
+}
+
+std::vector<u8>
+makeLightmapTexture(u32 size, Rng& rng)
+{
+    // Smooth blobs of light: sum of a few gaussians.
+    struct Blob { f32 x, y, radius, intensity; };
+    std::vector<Blob> blobs;
+    for (u32 i = 0; i < 6; ++i) {
+        blobs.push_back({rng.uniform(), rng.uniform(),
+                         rng.range(0.1f, 0.35f),
+                         rng.range(0.4f, 1.0f)});
+    }
+    std::vector<u8> img(size * size * 4);
+    for (u32 y = 0; y < size; ++y) {
+        for (u32 x = 0; x < size; ++x) {
+            const f32 u = static_cast<f32>(x) / size;
+            const f32 v = static_cast<f32>(y) / size;
+            f32 light = 0.15f;
+            for (const Blob& b : blobs) {
+                const f32 dx = u - b.x;
+                const f32 dy = v - b.y;
+                light += b.intensity *
+                         std::exp(-(dx * dx + dy * dy) /
+                                  (b.radius * b.radius));
+            }
+            const u8 l = static_cast<u8>(
+                std::min(255.0f, light * 255.0f));
+            u8* px = &img[(y * size + x) * 4];
+            px[0] = l;
+            px[1] = l;
+            px[2] = static_cast<u8>(std::min(255, l + 10));
+            px[3] = 255;
+        }
+    }
+    return img;
+}
+
+std::vector<u8>
+makeGrateTexture(u32 size)
+{
+    std::vector<u8> img(size * size * 4);
+    for (u32 y = 0; y < size; ++y) {
+        for (u32 x = 0; x < size; ++x) {
+            const bool hole = (x % 8) < 5 && (y % 8) < 5;
+            u8* px = &img[(y * size + x) * 4];
+            px[0] = 140;
+            px[1] = 140;
+            px[2] = 150;
+            px[3] = hole ? 0 : 255;
+        }
+    }
+    return img;
+}
+
+namespace
+{
+
+u16
+pack565(u32 r, u32 g, u32 b)
+{
+    return static_cast<u16>(((r >> 3) << 11) | ((g >> 2) << 5) |
+                            (b >> 3));
+}
+
+/** Encode one 4x4 RGBA8 block with min/max endpoints. */
+void
+encodeBlockColor(const u8 texels[16][4], u8* out,
+                 bool alwaysFourColor)
+{
+    u32 minV = 255 * 3, maxV = 0;
+    u32 minI = 0, maxI = 0;
+    for (u32 i = 0; i < 16; ++i) {
+        const u32 lum = texels[i][0] + texels[i][1] + texels[i][2];
+        if (lum < minV) { minV = lum; minI = i; }
+        if (lum > maxV) { maxV = lum; maxI = i; }
+    }
+    u16 c0 = pack565(texels[maxI][0], texels[maxI][1],
+                     texels[maxI][2]);
+    u16 c1 = pack565(texels[minI][0], texels[minI][1],
+                     texels[minI][2]);
+    if (alwaysFourColor && c0 == c1 && c0 != 0) {
+        // Distinct endpoints keep the encoder in 4-color mode.
+        c1 = static_cast<u16>(c1 - 1);
+    }
+    if (c0 < c1)
+        std::swap(c0, c1);
+
+    // Select per-texel indices against the 4-entry palette.
+    const u32 pr[4] = {u32(c0 >> 11) << 3, u32(c1 >> 11) << 3, 0, 0};
+    u32 palette[4][3];
+    palette[0][0] = (c0 >> 11) << 3;
+    palette[0][1] = ((c0 >> 5) & 0x3f) << 2;
+    palette[0][2] = (c0 & 0x1f) << 3;
+    palette[1][0] = (c1 >> 11) << 3;
+    palette[1][1] = ((c1 >> 5) & 0x3f) << 2;
+    palette[1][2] = (c1 & 0x1f) << 3;
+    for (u32 c = 0; c < 3; ++c) {
+        palette[2][c] = (2 * palette[0][c] + palette[1][c]) / 3;
+        palette[3][c] = (palette[0][c] + 2 * palette[1][c]) / 3;
+    }
+    (void)pr;
+
+    u32 bits = 0;
+    for (u32 i = 0; i < 16; ++i) {
+        u32 best = 0;
+        u32 bestErr = ~0u;
+        for (u32 p = 0; p < 4; ++p) {
+            u32 err = 0;
+            for (u32 c = 0; c < 3; ++c) {
+                const s32 d = static_cast<s32>(texels[i][c]) -
+                              static_cast<s32>(palette[p][c]);
+                err += static_cast<u32>(d * d);
+            }
+            if (err < bestErr) {
+                bestErr = err;
+                best = p;
+            }
+        }
+        bits |= best << (2 * i);
+    }
+
+    out[0] = static_cast<u8>(c0);
+    out[1] = static_cast<u8>(c0 >> 8);
+    out[2] = static_cast<u8>(c1);
+    out[3] = static_cast<u8>(c1 >> 8);
+    out[4] = static_cast<u8>(bits);
+    out[5] = static_cast<u8>(bits >> 8);
+    out[6] = static_cast<u8>(bits >> 16);
+    out[7] = static_cast<u8>(bits >> 24);
+}
+
+void
+gatherBlock(const std::vector<u8>& rgba, u32 width, u32 height,
+            u32 bx, u32 by, u8 texels[16][4])
+{
+    for (u32 i = 0; i < 16; ++i) {
+        const u32 x = std::min(width - 1, bx * 4 + i % 4);
+        const u32 y = std::min(height - 1, by * 4 + i / 4);
+        for (u32 c = 0; c < 4; ++c)
+            texels[i][c] = rgba[(y * width + x) * 4 + c];
+    }
+}
+
+} // anonymous namespace
+
+std::vector<u8>
+encodeDxt1(const std::vector<u8>& rgba, u32 width, u32 height)
+{
+    const u32 bw = (width + 3) / 4;
+    const u32 bh = (height + 3) / 4;
+    std::vector<u8> out(bw * bh * 8);
+    for (u32 by = 0; by < bh; ++by) {
+        for (u32 bx = 0; bx < bw; ++bx) {
+            u8 texels[16][4];
+            gatherBlock(rgba, width, height, bx, by, texels);
+            encodeBlockColor(texels,
+                             &out[(by * bw + bx) * 8],
+                             /*alwaysFourColor=*/true);
+        }
+    }
+    return out;
+}
+
+std::vector<u8>
+encodeDxt3(const std::vector<u8>& rgba, u32 width, u32 height)
+{
+    const u32 bw = (width + 3) / 4;
+    const u32 bh = (height + 3) / 4;
+    std::vector<u8> out(bw * bh * 16);
+    for (u32 by = 0; by < bh; ++by) {
+        for (u32 bx = 0; bx < bw; ++bx) {
+            u8 texels[16][4];
+            gatherBlock(rgba, width, height, bx, by, texels);
+            u8* block = &out[(by * bw + bx) * 16];
+            // Explicit 4-bit alpha.
+            for (u32 i = 0; i < 8; ++i) {
+                const u32 a0 = texels[i * 2][3] >> 4;
+                const u32 a1 = texels[i * 2 + 1][3] >> 4;
+                block[i] = static_cast<u8>(a0 | (a1 << 4));
+            }
+            encodeBlockColor(texels, block + 8, true);
+        }
+    }
+    return out;
+}
+
+} // namespace attila::workloads

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Workload: base class for the deterministic synthetic scenes that
+ * stand in for the paper's proprietary game traces (UT2004 Primeval,
+ * Doom3 trDemo2).  See DESIGN.md §1 for the substitution rationale.
+ *
+ * A workload issues AGL calls: setup() uploads frame-independent
+ * resources, renderFrame() draws one frame ending with swapBuffers.
+ * Everything is seeded and deterministic, so the timing simulator
+ * and the reference renderer consume identical command streams.
+ */
+
+#ifndef ATTILA_WORKLOADS_WORKLOAD_HH
+#define ATTILA_WORKLOADS_WORKLOAD_HH
+
+#include <vector>
+
+#include "gl/context.hh"
+
+namespace attila::workloads
+{
+
+/** xorshift64* deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : _state(seed) {}
+
+    u64
+    next()
+    {
+        _state ^= _state >> 12;
+        _state ^= _state << 25;
+        _state ^= _state >> 27;
+        return _state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform float in [0, 1). */
+    f32
+    uniform()
+    {
+        return static_cast<f32>(next() >> 40) /
+               static_cast<f32>(1ull << 24);
+    }
+
+    /** Uniform float in [lo, hi). */
+    f32
+    range(f32 lo, f32 hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+  private:
+    u64 _state;
+};
+
+/** Common workload parameters. */
+struct WorkloadParams
+{
+    u32 width = 256;
+    u32 height = 256;
+    u32 frames = 2;
+    u32 textureSize = 128;
+    u32 anisotropy = 1;  ///< Max anisotropic samples (1 = off).
+    u32 detail = 8;      ///< Scene density knob.
+    /** Shadows workload: stencil the volumes in a single two-sided
+     *  pass instead of two culled passes (paper §7 extension). */
+    bool twoSidedVolumes = false;
+};
+
+/** Base class for synthetic scenes. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams& params)
+        : _params(params)
+    {}
+    virtual ~Workload() = default;
+
+    /** Upload buffers / textures / programs (once). */
+    virtual void setup(gl::Context& ctx) = 0;
+
+    /** Render one frame (ends with swapBuffers). */
+    virtual void renderFrame(gl::Context& ctx, u32 frame) = 0;
+
+    const WorkloadParams& params() const { return _params; }
+
+  protected:
+    WorkloadParams _params;
+};
+
+// ===== Texture generators ==========================================
+
+/** Procedural RGBA8 noise-and-pattern texture (tightly packed). */
+std::vector<u8> makeDiffuseTexture(u32 size, Rng& rng);
+
+/** Low-frequency RGBA8 lightmap-style texture. */
+std::vector<u8> makeLightmapTexture(u32 size, Rng& rng);
+
+/** RGBA8 grate pattern with binary alpha (for alpha testing). */
+std::vector<u8> makeGrateTexture(u32 size);
+
+/**
+ * Encode an RGBA8 image as DXT1 blocks (simple min/max endpoint
+ * encoder) — exercises the compressed-texture path.
+ */
+std::vector<u8> encodeDxt1(const std::vector<u8>& rgba, u32 width,
+                           u32 height);
+
+/** Encode an RGBA8 image as DXT3 (explicit alpha). */
+std::vector<u8> encodeDxt3(const std::vector<u8>& rgba, u32 width,
+                           u32 height);
+
+} // namespace attila::workloads
+
+#endif // ATTILA_WORKLOADS_WORKLOAD_HH

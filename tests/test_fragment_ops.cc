@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit and parameterized property tests for the fragment operation
+ * emulator: depth compare, stencil ops, blending and colour packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/fragment_op_emulator.hh"
+
+using namespace attila;
+using namespace attila::emu;
+
+TEST(DepthPack, RoundTrip)
+{
+    const u32 zs = packDepthStencil(0x123456, 0xab);
+    EXPECT_EQ(depthOf(zs), 0x123456u);
+    EXPECT_EQ(stencilOf(zs), 0xabu);
+}
+
+TEST(DepthQuantize, Bounds)
+{
+    EXPECT_EQ(quantizeDepth(0.0f), 0u);
+    EXPECT_EQ(quantizeDepth(1.0f), maxDepthValue);
+    EXPECT_EQ(quantizeDepth(-5.0f), 0u);
+    EXPECT_EQ(quantizeDepth(5.0f), maxDepthValue);
+    EXPECT_EQ(quantizeDepth(0.5f), maxDepthValue / 2 + 1);
+}
+
+// --- Parameterized compare-function sweep ---------------------------
+
+class CompareSweep
+    : public ::testing::TestWithParam<CompareFunc>
+{
+};
+
+TEST_P(CompareSweep, MatchesDefinition)
+{
+    const CompareFunc func = GetParam();
+    const u32 values[] = {0, 1, 5, 100, maxDepthValue};
+    for (u32 ref : values) {
+        for (u32 stored : values) {
+            bool expect = false;
+            switch (func) {
+              case CompareFunc::Never: expect = false; break;
+              case CompareFunc::Less: expect = ref < stored; break;
+              case CompareFunc::Equal:
+                expect = ref == stored;
+                break;
+              case CompareFunc::LessEqual:
+                expect = ref <= stored;
+                break;
+              case CompareFunc::Greater:
+                expect = ref > stored;
+                break;
+              case CompareFunc::NotEqual:
+                expect = ref != stored;
+                break;
+              case CompareFunc::GreaterEqual:
+                expect = ref >= stored;
+                break;
+              case CompareFunc::Always: expect = true; break;
+            }
+            EXPECT_EQ(FragmentOpEmulator::compare(func, ref, stored),
+                      expect);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFuncs, CompareSweep,
+    ::testing::Values(CompareFunc::Never, CompareFunc::Less,
+                      CompareFunc::Equal, CompareFunc::LessEqual,
+                      CompareFunc::Greater, CompareFunc::NotEqual,
+                      CompareFunc::GreaterEqual,
+                      CompareFunc::Always));
+
+// --- Stencil op sweep -----------------------------------------------
+
+class StencilOpSweep : public ::testing::TestWithParam<StencilOp>
+{
+};
+
+TEST_P(StencilOpSweep, MatchesDefinition)
+{
+    const StencilOp op = GetParam();
+    const u8 refVal = 0x35;
+    const u8 values[] = {0x00, 0x01, 0x7f, 0xfe, 0xff};
+    for (u8 stored : values) {
+        u8 expect = stored;
+        switch (op) {
+          case StencilOp::Keep: expect = stored; break;
+          case StencilOp::Zero: expect = 0; break;
+          case StencilOp::Replace: expect = refVal; break;
+          case StencilOp::Incr:
+            expect = stored == 0xff ? 0xff : stored + 1;
+            break;
+          case StencilOp::Decr:
+            expect = stored == 0 ? 0 : stored - 1;
+            break;
+          case StencilOp::Invert: expect = ~stored; break;
+          case StencilOp::IncrWrap:
+            expect = static_cast<u8>(stored + 1);
+            break;
+          case StencilOp::DecrWrap:
+            expect = static_cast<u8>(stored - 1);
+            break;
+        }
+        EXPECT_EQ(FragmentOpEmulator::stencilOperate(op, stored,
+                                                     refVal, 0xff),
+                  expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, StencilOpSweep,
+    ::testing::Values(StencilOp::Keep, StencilOp::Zero,
+                      StencilOp::Replace, StencilOp::Incr,
+                      StencilOp::Decr, StencilOp::Invert,
+                      StencilOp::IncrWrap, StencilOp::DecrWrap));
+
+TEST(StencilOps, WriteMaskPreservesBits)
+{
+    const u8 out = FragmentOpEmulator::stencilOperate(
+        StencilOp::Replace, 0xf0, 0x0f, 0x0f);
+    EXPECT_EQ(out, 0xffu); // High nibble kept, low replaced.
+}
+
+// --- Combined z/stencil test ----------------------------------------
+
+TEST(ZStencilTest, DepthOnlyPassWrites)
+{
+    ZStencilState state;
+    state.depthTest = true;
+    state.depthFunc = CompareFunc::Less;
+    state.depthWrite = true;
+    const u32 stored = packDepthStencil(1000, 0);
+    auto result =
+        FragmentOpEmulator::zStencilTest(state, 500, stored);
+    EXPECT_TRUE(result.pass);
+    EXPECT_EQ(depthOf(result.newZS), 500u);
+
+    result = FragmentOpEmulator::zStencilTest(state, 2000, stored);
+    EXPECT_FALSE(result.pass);
+    EXPECT_EQ(depthOf(result.newZS), 1000u);
+}
+
+TEST(ZStencilTest, DepthWriteMaskBlocksUpdate)
+{
+    ZStencilState state;
+    state.depthTest = true;
+    state.depthFunc = CompareFunc::Always;
+    state.depthWrite = false;
+    const u32 stored = packDepthStencil(1000, 0);
+    auto result =
+        FragmentOpEmulator::zStencilTest(state, 500, stored);
+    EXPECT_TRUE(result.pass);
+    EXPECT_EQ(depthOf(result.newZS), 1000u);
+}
+
+TEST(ZStencilTest, StencilFailCullsAndUpdates)
+{
+    ZStencilState state;
+    state.stencilTest = true;
+    state.stencilFunc = CompareFunc::Equal;
+    state.stencilRef = 1;
+    state.stencilFail = StencilOp::Incr;
+    const u32 stored = packDepthStencil(77, 5); // 5 != 1 -> fail.
+    auto result = FragmentOpEmulator::zStencilTest(state, 0, stored);
+    EXPECT_FALSE(result.pass);
+    EXPECT_EQ(stencilOf(result.newZS), 6u); // Incremented.
+    EXPECT_EQ(depthOf(result.newZS), 77u);  // Depth untouched.
+}
+
+TEST(ZStencilTest, DepthFailAppliesZFailOp)
+{
+    ZStencilState state;
+    state.stencilTest = true;
+    state.stencilFunc = CompareFunc::Always;
+    state.depthFail = StencilOp::DecrWrap;
+    state.depthPass = StencilOp::IncrWrap;
+    state.depthTest = true;
+    state.depthFunc = CompareFunc::Less;
+    const u32 stored = packDepthStencil(100, 0);
+    // Depth fails.
+    auto result =
+        FragmentOpEmulator::zStencilTest(state, 200, stored);
+    EXPECT_FALSE(result.pass);
+    EXPECT_EQ(stencilOf(result.newZS), 0xffu); // 0 - 1 wraps.
+    // Depth passes.
+    result = FragmentOpEmulator::zStencilTest(state, 50, stored);
+    EXPECT_TRUE(result.pass);
+    EXPECT_EQ(stencilOf(result.newZS), 1u);
+}
+
+TEST(ZStencilTest, StencilCompareMask)
+{
+    ZStencilState state;
+    state.stencilTest = true;
+    state.stencilFunc = CompareFunc::Equal;
+    state.stencilRef = 0x13;
+    state.stencilCompareMask = 0x0f; // Only the low nibble compares.
+    const u32 stored = packDepthStencil(0, 0xf3);
+    auto result = FragmentOpEmulator::zStencilTest(state, 0, stored);
+    EXPECT_TRUE(result.pass); // 0x03 == 0x03 under the mask.
+}
+
+// --- Blending --------------------------------------------------------
+
+TEST(Blend, FactorValues)
+{
+    const Vec4 src{0.5f, 0.25f, 1.0f, 0.5f};
+    const Vec4 dst{0.2f, 0.4f, 0.6f, 0.8f};
+    const Vec4 constant{0.1f, 0.2f, 0.3f, 0.4f};
+    using F = BlendFactor;
+    auto factor = [&](F f) {
+        return FragmentOpEmulator::blendFactor(f, src, dst,
+                                               constant);
+    };
+    EXPECT_EQ(factor(F::Zero), Vec4(0.0f));
+    EXPECT_EQ(factor(F::One), Vec4(1.0f));
+    EXPECT_EQ(factor(F::SrcColor), src);
+    EXPECT_EQ(factor(F::DstColor), dst);
+    EXPECT_EQ(factor(F::SrcAlpha), Vec4(0.5f));
+    EXPECT_EQ(factor(F::OneMinusDstAlpha),
+              Vec4(1.0f - 0.8f));
+    EXPECT_EQ(factor(F::ConstantColor), constant);
+    const Vec4 sas = factor(F::SrcAlphaSaturate);
+    EXPECT_FLOAT_EQ(sas.x, 0.2f); // min(0.5, 1-0.8).
+    EXPECT_FLOAT_EQ(sas.w, 1.0f);
+}
+
+TEST(Blend, AdditiveAndModulate)
+{
+    BlendState state;
+    state.enabled = true;
+    state.srcFactor = BlendFactor::One;
+    state.dstFactor = BlendFactor::One;
+    const Vec4 out = FragmentOpEmulator::blend(
+        state, {0.25f, 0.5f, 0.75f, 1.0f}, {0.5f, 0.25f, 0.5f, 0.0f});
+    EXPECT_FLOAT_EQ(out.x, 0.75f);
+    EXPECT_FLOAT_EQ(out.y, 0.75f);
+
+    state.equation = BlendEquation::ReverseSubtract;
+    const Vec4 rsub = FragmentOpEmulator::blend(
+        state, {0.25f, 0, 0, 0}, {0.5f, 0, 0, 0});
+    EXPECT_FLOAT_EQ(rsub.x, 0.25f);
+
+    state.equation = BlendEquation::Min;
+    const Vec4 mn = FragmentOpEmulator::blend(
+        state, {0.25f, 0.9f, 0, 0}, {0.5f, 0.1f, 0, 0});
+    EXPECT_FLOAT_EQ(mn.x, 0.25f);
+    EXPECT_FLOAT_EQ(mn.y, 0.1f);
+}
+
+TEST(Blend, SrcAlphaCompositing)
+{
+    BlendState state;
+    state.enabled = true;
+    state.srcFactor = BlendFactor::SrcAlpha;
+    state.dstFactor = BlendFactor::OneMinusSrcAlpha;
+    const Vec4 out = FragmentOpEmulator::blend(
+        state, {1.0f, 0.0f, 0.0f, 0.25f}, {0.0f, 1.0f, 0.0f, 1.0f});
+    EXPECT_FLOAT_EQ(out.x, 0.25f);
+    EXPECT_FLOAT_EQ(out.y, 0.75f);
+}
+
+TEST(ColorPack, RoundTripAndClamp)
+{
+    // r=255, g=0, b=round(127.5)=128, a=255.
+    EXPECT_EQ(FragmentOpEmulator::packRgba8({1, 0, 0.5f, 1}),
+              0xff0000ffu | (128u << 16));
+    // Out-of-range clamps (the paper found a real bug here: negative
+    // shader outputs must clamp, Fig 10).
+    EXPECT_EQ(FragmentOpEmulator::packRgba8({-1, 2, 0, 0}),
+              0x0000ff00u | 0u);
+    const Vec4 c = FragmentOpEmulator::unpackRgba8(0x80402010u);
+    EXPECT_NEAR(c.x, 0x10 / 255.0f, 1e-6);
+    EXPECT_NEAR(c.y, 0x20 / 255.0f, 1e-6);
+    EXPECT_NEAR(c.z, 0x40 / 255.0f, 1e-6);
+    EXPECT_NEAR(c.w, 0x80 / 255.0f, 1e-6);
+}
+
+TEST(ColorWrite, MaskSelectsChannels)
+{
+    BlendState state;
+    state.colorMask = 0x5; // Red + blue only.
+    const u32 stored = 0xffffffffu;
+    const u32 out = FragmentOpEmulator::colorWrite(
+        state, {0.0f, 0.0f, 0.0f, 0.0f}, stored);
+    EXPECT_EQ(out & 0xffu, 0u);            // Red written.
+    EXPECT_EQ((out >> 8) & 0xffu, 0xffu);  // Green kept.
+    EXPECT_EQ((out >> 16) & 0xffu, 0u);    // Blue written.
+    EXPECT_EQ((out >> 24) & 0xffu, 0xffu); // Alpha kept.
+}

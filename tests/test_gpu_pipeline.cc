@@ -1,0 +1,415 @@
+/**
+ * @file
+ * End-to-end integration tests: complete command streams rendered
+ * through the cycle-level pipeline, verified against expected pixels
+ * and against the functional reference renderer (the execution-
+ * driven verification loop of the paper).
+ */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "emu/shader_isa.hh"
+#include "gpu/framebuffer.hh"
+#include "gpu/gpu.hh"
+#include "gpu/ref_renderer.hh"
+
+using namespace attila;
+using namespace attila::gpu;
+
+namespace
+{
+
+constexpr u32 fbW = 64;
+constexpr u32 fbH = 64;
+
+/** Common register setup: 64x64 target, buffers at 0 / 16K. */
+void
+emitSurfaceSetup(CommandList& list)
+{
+    using C = Command;
+    list.push_back(C::writeReg(Reg::FbWidth, RegValue(fbW)));
+    list.push_back(C::writeReg(Reg::FbHeight, RegValue(fbH)));
+    list.push_back(C::writeReg(Reg::ColorBufferAddr, RegValue(0u)));
+    list.push_back(C::writeReg(
+        Reg::ZStencilBufferAddr,
+        RegValue(fbSurfaceBytes(fbW, fbH))));
+    list.push_back(C::writeReg(Reg::ViewportX, RegValue(0u)));
+    list.push_back(C::writeReg(Reg::ViewportY, RegValue(0u)));
+    list.push_back(C::writeReg(Reg::ViewportWidth, RegValue(fbW)));
+    list.push_back(C::writeReg(Reg::ViewportHeight, RegValue(fbH)));
+    list.push_back(C::writeReg(Reg::ClearColor,
+                               RegValue(emu::Vec4(0, 0, 0, 1))));
+    list.push_back(C::writeReg(Reg::ClearDepth, RegValue(1.0f)));
+    list.push_back(C::writeReg(Reg::ClearStencil, RegValue(0u)));
+}
+
+/** Passthrough position+color programs. */
+void
+emitPassthroughPrograms(CommandList& list)
+{
+    emu::ShaderAssembler assembler;
+    list.push_back(Command::loadVertexProgram(assembler.assemble(
+        R"(!!ARBvp1.0
+MOV result.position, vertex.attrib[0];
+MOV result.color, vertex.attrib[3];
+END
+)")));
+    list.push_back(Command::loadFragmentProgram(assembler.assemble(
+        R"(!!ARBfp1.0
+MOV result.color, fragment.color;
+END
+)")));
+}
+
+/** Upload clip-space float4 positions + float4 colors. */
+void
+emitVertexData(CommandList& list, u32 posAddr, u32 colAddr,
+               const std::vector<emu::Vec4>& positions,
+               const std::vector<emu::Vec4>& colors)
+{
+    std::vector<u8> pos(positions.size() * 16);
+    std::memcpy(pos.data(), positions.data(), pos.size());
+    list.push_back(Command::writeBuffer(posAddr, std::move(pos)));
+    std::vector<u8> col(colors.size() * 16);
+    std::memcpy(col.data(), colors.data(), col.size());
+    list.push_back(Command::writeBuffer(colAddr, std::move(col)));
+
+    list.push_back(Command::writeReg(Reg::StreamEnable,
+                                     RegValue(1u), 0));
+    list.push_back(Command::writeReg(Reg::StreamAddress,
+                                     RegValue(posAddr), 0));
+    list.push_back(Command::writeReg(Reg::StreamStride,
+                                     RegValue(16u), 0));
+    list.push_back(Command::writeReg(
+        Reg::StreamFormat_,
+        RegValue(static_cast<u32>(StreamFormat::Float4)), 0));
+    list.push_back(Command::writeReg(Reg::StreamEnable,
+                                     RegValue(1u), 3));
+    list.push_back(Command::writeReg(Reg::StreamAddress,
+                                     RegValue(colAddr), 3));
+    list.push_back(Command::writeReg(Reg::StreamStride,
+                                     RegValue(16u), 3));
+    list.push_back(Command::writeReg(
+        Reg::StreamFormat_,
+        RegValue(static_cast<u32>(StreamFormat::Float4)), 3));
+    list.push_back(Command::writeReg(Reg::IndexEnable,
+                                     RegValue(0u)));
+}
+
+/** Run a command list on a freshly built GPU; return the last
+ * frame. */
+FrameImage
+runOnGpu(const CommandList& list,
+         GpuConfig config = GpuConfig::baseline(), Gpu** out = nullptr)
+{
+    static std::unique_ptr<Gpu> gpu; // Kept alive for 'out'.
+    config.memorySize = 8u << 20;
+    gpu = std::make_unique<Gpu>(config);
+    gpu->submit(list);
+    const bool drained = gpu->runUntilIdle(20'000'000);
+    EXPECT_TRUE(drained) << "pipeline failed to drain";
+    EXPECT_FALSE(gpu->frames().empty());
+    if (out)
+        *out = gpu.get();
+    return gpu->frames().empty() ? FrameImage{}
+                                 : gpu->frames().back();
+}
+
+u32
+rgba(u8 r, u8 g, u8 b, u8 a = 255)
+{
+    return u32(r) | (u32(g) << 8) | (u32(b) << 16) | (u32(a) << 24);
+}
+
+} // anonymous namespace
+
+TEST(GpuPipeline, ClearOnly)
+{
+    CommandList list;
+    emitSurfaceSetup(list);
+    list.push_back(Command::writeReg(
+        Reg::ClearColor, RegValue(emu::Vec4(1, 0, 0, 1))));
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+    list.push_back(Command::swap());
+
+    const FrameImage frame = runOnGpu(list);
+    ASSERT_EQ(frame.width, fbW);
+    for (u32 i = 0; i < frame.pixels.size(); ++i)
+        ASSERT_EQ(frame.pixels[i], rgba(255, 0, 0)) << "pixel " << i;
+}
+
+TEST(GpuPipeline, SolidTriangle)
+{
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    emitVertexData(list, 0x100000, 0x110000,
+                   {{-1, -1, 0, 1}, {3, -1, 0, 1}, {-1, 3, 0, 1}},
+                   {{0, 1, 0, 1}, {0, 1, 0, 1}, {0, 1, 0, 1}});
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+    list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+    list.push_back(Command::swap());
+
+    // The huge triangle covers the whole viewport: every pixel
+    // green.
+    const FrameImage frame = runOnGpu(list);
+    for (u32 y = 0; y < fbH; ++y) {
+        for (u32 x = 0; x < fbW; ++x) {
+            ASSERT_EQ(frame.pixel(x, y), rgba(0, 255, 0))
+                << "at " << x << "," << y;
+        }
+    }
+}
+
+TEST(GpuPipeline, DepthTestOrdersSurfaces)
+{
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    list.push_back(Command::writeReg(Reg::DepthTestEnable,
+                                     RegValue(1u)));
+    list.push_back(Command::writeReg(
+        Reg::DepthFunc,
+        RegValue(static_cast<u32>(emu::CompareFunc::Less))));
+    list.push_back(Command::writeReg(Reg::DepthWriteMask,
+                                     RegValue(1u)));
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+
+    // Near full-screen green at z = -0.5 (window 0.25).
+    emitVertexData(list, 0x100000, 0x110000,
+                   {{-1, -1, -0.5f, 1},
+                    {3, -1, -0.5f, 1},
+                    {-1, 3, -0.5f, 1}},
+                   {{0, 1, 0, 1}, {0, 1, 0, 1}, {0, 1, 0, 1}});
+    list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+
+    // Far full-screen red at z = 0.5: must lose everywhere.
+    emitVertexData(list, 0x120000, 0x130000,
+                   {{-1, -1, 0.5f, 1},
+                    {3, -1, 0.5f, 1},
+                    {-1, 3, 0.5f, 1}},
+                   {{1, 0, 0, 1}, {1, 0, 0, 1}, {1, 0, 0, 1}});
+    list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+    list.push_back(Command::swap());
+
+    const FrameImage frame = runOnGpu(list);
+    for (u32 y = 0; y < fbH; y += 7) {
+        for (u32 x = 0; x < fbW; x += 7) {
+            ASSERT_EQ(frame.pixel(x, y), rgba(0, 255, 0))
+                << "at " << x << "," << y;
+        }
+    }
+}
+
+TEST(GpuPipeline, MatchesReferenceRenderer)
+{
+    // The Fig 10 methodology in miniature: the timing simulator and
+    // the independent functional renderer must produce identical
+    // images for a scene with overlapping, depth-tested, partially
+    // offscreen triangles.
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    list.push_back(Command::writeReg(Reg::DepthTestEnable,
+                                     RegValue(1u)));
+    list.push_back(Command::writeReg(
+        Reg::DepthFunc,
+        RegValue(static_cast<u32>(emu::CompareFunc::Less))));
+    list.push_back(Command::writeReg(Reg::DepthWriteMask,
+                                     RegValue(1u)));
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+
+    std::vector<emu::Vec4> positions;
+    std::vector<emu::Vec4> colors;
+    u64 state = 7;
+    auto rnd = [&]() {
+        state = state * 6364136223846793005ull + 1;
+        return static_cast<f32>((state >> 33) & 0xffff) / 65536.0f;
+    };
+    for (u32 t = 0; t < 12; ++t) {
+        for (u32 v = 0; v < 3; ++v) {
+            positions.push_back({rnd() * 3 - 1.5f, rnd() * 3 - 1.5f,
+                                 rnd() * 1.6f - 0.8f, 1.0f});
+            colors.push_back({rnd(), rnd(), rnd(), 1.0f});
+        }
+    }
+    emitVertexData(list, 0x100000, 0x110000, positions, colors);
+    list.push_back(Command::drawBatch(Primitive::Triangles,
+                                      static_cast<u32>(
+                                          positions.size())));
+    list.push_back(Command::swap());
+
+    const FrameImage gpuFrame = runOnGpu(list);
+
+    RefRenderer ref(8u << 20);
+    ref.execute(list);
+    ASSERT_EQ(ref.frames().size(), 1u);
+    const FrameImage& refFrame = ref.frames()[0];
+
+    EXPECT_EQ(gpuFrame.diffCount(refFrame), 0u);
+}
+
+TEST(GpuPipeline, IndexedStripWithVertexCache)
+{
+    // A triangle strip with 16-bit indices; the post-shading vertex
+    // cache must kick in for the shared vertices.
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+
+    std::vector<emu::Vec4> positions;
+    std::vector<emu::Vec4> colors;
+    for (u32 i = 0; i < 8; ++i) {
+        const f32 x = -0.9f + 0.25f * i;
+        positions.push_back({x, i % 2 ? 0.6f : -0.6f, 0, 1});
+        colors.push_back({0, 0, 1, 1});
+    }
+    emitVertexData(list, 0x100000, 0x110000, positions, colors);
+
+    std::vector<u16> indices;
+    // Several passes over the same vertices: later passes find the
+    // shaded results in the post-shading vertex cache (the first
+    // pass may still be in flight when its immediate repeats
+    // dispatch).
+    for (u32 pass = 0; pass < 4; ++pass) {
+        for (u16 i = 0; i < 8; ++i)
+            indices.push_back(i);
+    }
+    std::vector<u8> ib(indices.size() * 2);
+    std::memcpy(ib.data(), indices.data(), ib.size());
+    list.push_back(Command::writeBuffer(0x140000, std::move(ib)));
+    list.push_back(Command::writeReg(Reg::IndexEnable,
+                                     RegValue(1u)));
+    list.push_back(Command::writeReg(Reg::IndexAddress,
+                                     RegValue(0x140000u)));
+    list.push_back(Command::writeReg(Reg::IndexWide, RegValue(0u)));
+    list.push_back(Command::drawBatch(Primitive::TriangleStrip,
+                                      static_cast<u32>(
+                                          indices.size())));
+    list.push_back(Command::swap());
+
+    Gpu* gpu = nullptr;
+    const FrameImage frame = runOnGpu(list, GpuConfig::baseline(),
+                                      &gpu);
+    // Center of the strip band is blue.
+    EXPECT_EQ(frame.pixel(fbW / 2, fbH / 2), rgba(0, 0, 255));
+    // The vertex cache saw hits (repeated indices).
+    const auto* hits =
+        gpu->stats().find("Streamer.vertexCacheHits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_GT(hits->total(), 0u);
+
+    // And the image matches the reference renderer.
+    RefRenderer ref(8u << 20);
+    ref.execute(list);
+    EXPECT_EQ(frame.diffCount(ref.frames()[0]), 0u);
+}
+
+TEST(GpuPipeline, NonUnifiedPipelineRenders)
+{
+    GpuConfig config;
+    config.unifiedShaders = false;
+
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    emitVertexData(list, 0x100000, 0x110000,
+                   {{-1, -1, 0, 1}, {3, -1, 0, 1}, {-1, 3, 0, 1}},
+                   {{1, 1, 0, 1}, {1, 1, 0, 1}, {1, 1, 0, 1}});
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+    list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+    list.push_back(Command::swap());
+
+    const FrameImage frame = runOnGpu(list, config);
+    EXPECT_EQ(frame.pixel(5, 5), rgba(255, 255, 0));
+}
+
+TEST(GpuPipeline, HzCullsHiddenTiles)
+{
+    // Draw a near quad, then a far quad: the Hierarchical Z buffer
+    // only helps after Z-cache evictions, so force many overdraw
+    // layers and check the culled-tile statistic moves while the
+    // image stays correct.
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    list.push_back(Command::writeReg(Reg::DepthTestEnable,
+                                     RegValue(1u)));
+    list.push_back(Command::writeReg(
+        Reg::DepthFunc,
+        RegValue(static_cast<u32>(emu::CompareFunc::Less))));
+    list.push_back(Command::writeReg(Reg::DepthWriteMask,
+                                     RegValue(1u)));
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+
+    emitVertexData(list, 0x100000, 0x110000,
+                   {{-1, -1, -0.9f, 1},
+                    {3, -1, -0.9f, 1},
+                    {-1, 3, -0.9f, 1}},
+                   {{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}});
+    list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+    // Many hidden layers behind it.
+    for (u32 i = 0; i < 6; ++i)
+        list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+    list.push_back(Command::swap());
+
+    Gpu* gpu = nullptr;
+    const FrameImage frame = runOnGpu(list, GpuConfig::baseline(),
+                                      &gpu);
+    EXPECT_EQ(frame.pixel(1, 1), rgba(255, 255, 255));
+    const auto* culled =
+        gpu->stats().find("HierarchicalZ.tilesCulled");
+    ASSERT_NE(culled, nullptr);
+    // Same-depth layers fail LESS everywhere; whether HZ culled them
+    // depends on eviction timing, so only require sanity here.
+    const auto* tiles = gpu->stats().find("HierarchicalZ.tiles");
+    ASSERT_NE(tiles, nullptr);
+    EXPECT_GT(tiles->total(), 0u);
+    EXPECT_LE(culled->total(), tiles->total());
+}
+
+TEST(GpuPipeline, StatisticsArePopulated)
+{
+    CommandList list;
+    emitSurfaceSetup(list);
+    emitPassthroughPrograms(list);
+    emitVertexData(list, 0x100000, 0x110000,
+                   {{-1, -1, 0, 1}, {3, -1, 0, 1}, {-1, 3, 0, 1}},
+                   {{0, 1, 0, 1}, {0, 1, 0, 1}, {0, 1, 0, 1}});
+    list.push_back(Command::clearColor());
+    list.push_back(Command::clearZStencil());
+    list.push_back(Command::drawBatch(Primitive::Triangles, 3));
+    list.push_back(Command::swap());
+
+    Gpu* gpu = nullptr;
+    runOnGpu(list, GpuConfig::baseline(), &gpu);
+    EXPECT_EQ(gpu->stats().find("Streamer.vertices")->total(), 3u);
+    EXPECT_EQ(gpu->stats().find("PrimitiveAssembly.triangles")
+                  ->total(),
+              1u);
+    EXPECT_EQ(
+        gpu->stats().find("FragmentGenerator.fragments")->total(),
+        fbW * fbH);
+    // 64x64 = 4096 fragments = 1024 quads through the ROPs.
+    u64 ropQuads = 0;
+    for (u32 r = 0; r < gpu->config().numRops; ++r) {
+        ropQuads += gpu->stats()
+                        .find("ColorWrite" + std::to_string(r) +
+                              ".quads")
+                        ->total();
+    }
+    EXPECT_EQ(ropQuads, fbW * fbH / 4);
+    // The memory controller moved real data.
+    EXPECT_GT(gpu->stats().find("MemoryController.readBytes")
+                  ->total(),
+              0u);
+}

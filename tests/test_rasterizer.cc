@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit and property tests for the 2D homogeneous rasterizer: setup,
+ * coverage, fill rule, traversal and perspective-correct
+ * interpolation.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "emu/clipper_emulator.hh"
+#include "emu/rasterizer_emulator.hh"
+
+using namespace attila;
+using namespace attila::emu;
+
+namespace
+{
+
+const Viewport vp64{0, 0, 64, 64};
+
+/** NDC position helper (w = 1). */
+Vec4
+ndc(f32 x, f32 y, f32 z = 0.0f)
+{
+    return {x, y, z, 1.0f};
+}
+
+u32
+countCoverage(const TriangleSetup& tri, const Viewport& vp)
+{
+    u32 count = 0;
+    for (s32 y = 0; y < static_cast<s32>(vp.height); ++y) {
+        for (s32 x = 0; x < static_cast<s32>(vp.width); ++x) {
+            if (RasterizerEmulator::evalFragment(tri, x, y).inside)
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // anonymous namespace
+
+TEST(Rasterizer, FullViewportQuadCoverage)
+{
+    // Two triangles covering exactly the whole viewport.
+    const auto t1 = RasterizerEmulator::setup(
+        ndc(-1, -1), ndc(1, -1), ndc(-1, 1), vp64);
+    const auto t2 = RasterizerEmulator::setup(
+        ndc(1, -1), ndc(1, 1), ndc(-1, 1), vp64);
+    ASSERT_TRUE(t1.valid);
+    ASSERT_TRUE(t2.valid);
+    EXPECT_EQ(countCoverage(t1, vp64) + countCoverage(t2, vp64),
+              64u * 64u);
+}
+
+TEST(Rasterizer, SharedEdgeNoDoubleCoverage)
+{
+    // The fill rule must assign shared-edge pixels to exactly one
+    // triangle.
+    const auto t1 = RasterizerEmulator::setup(
+        ndc(-1, -1), ndc(1, -1), ndc(-1, 1), vp64);
+    const auto t2 = RasterizerEmulator::setup(
+        ndc(1, -1), ndc(1, 1), ndc(-1, 1), vp64);
+    for (s32 y = 0; y < 64; ++y) {
+        for (s32 x = 0; x < 64; ++x) {
+            const bool a =
+                RasterizerEmulator::evalFragment(t1, x, y).inside;
+            const bool b =
+                RasterizerEmulator::evalFragment(t2, x, y).inside;
+            EXPECT_FALSE(a && b)
+                << "double coverage at " << x << "," << y;
+        }
+    }
+}
+
+TEST(Rasterizer, AdjacentTrianglePropertySweep)
+{
+    // Random triangle fans: every pixel of the enclosing quad is
+    // covered exactly once by the two triangles sharing a diagonal.
+    u64 state = 99;
+    auto rnd = [&]() {
+        state = state * 6364136223846793005ull + 1;
+        return static_cast<f32>((state >> 33) & 0xffff) / 65536.0f;
+    };
+    for (u32 iter = 0; iter < 20; ++iter) {
+        const Vec4 a = ndc(rnd() * 1.6f - 0.8f, rnd() * 1.6f - 0.8f);
+        const Vec4 b = ndc(rnd() * 1.6f - 0.8f, rnd() * 1.6f - 0.8f);
+        const Vec4 c = ndc(rnd() * 1.6f - 0.8f, rnd() * 1.6f - 0.8f);
+        const Vec4 d = ndc(rnd() * 1.6f - 0.8f, rnd() * 1.6f - 0.8f);
+        const auto t1 =
+            RasterizerEmulator::setup(a, b, c, vp64);
+        const auto t2 =
+            RasterizerEmulator::setup(a, c, d, vp64);
+        if (!t1.valid || !t2.valid)
+            continue;
+        // A folded (self-overlapping) quad genuinely covers pixels
+        // twice; the shared-edge property only holds when the two
+        // triangles wind consistently.
+        if (t1.ccw != t2.ccw)
+            continue;
+        for (s32 y = 0; y < 64; ++y) {
+            for (s32 x = 0; x < 64; ++x) {
+                const bool in1 =
+                    RasterizerEmulator::evalFragment(t1, x, y)
+                        .inside;
+                const bool in2 =
+                    RasterizerEmulator::evalFragment(t2, x, y)
+                        .inside;
+                EXPECT_FALSE(in1 && in2)
+                    << "double coverage on shared edge, iter "
+                    << iter << " at " << x << "," << y;
+            }
+        }
+    }
+}
+
+TEST(Rasterizer, FaceCulling)
+{
+    // CCW triangle in screen space (y up).
+    const auto ccw = RasterizerEmulator::setup(
+        ndc(-0.5f, -0.5f), ndc(0.5f, -0.5f), ndc(0, 0.5f), vp64);
+    ASSERT_TRUE(ccw.valid);
+    EXPECT_TRUE(ccw.ccw);
+
+    const auto culled = RasterizerEmulator::setup(
+        ndc(-0.5f, -0.5f), ndc(0.5f, -0.5f), ndc(0, 0.5f), vp64,
+        /*cullCcw=*/true, false);
+    EXPECT_FALSE(culled.valid);
+
+    // The same triangle with reversed winding is CW.
+    const auto cw = RasterizerEmulator::setup(
+        ndc(0, 0.5f), ndc(0.5f, -0.5f), ndc(-0.5f, -0.5f), vp64,
+        false, /*cullCw=*/true);
+    EXPECT_FALSE(cw.valid);
+}
+
+TEST(Rasterizer, DegenerateRejected)
+{
+    const auto degenerate = RasterizerEmulator::setup(
+        ndc(0, 0), ndc(0, 0), ndc(0.5f, 0.5f), vp64);
+    EXPECT_FALSE(degenerate.valid);
+}
+
+TEST(Rasterizer, DepthInterpolation)
+{
+    // Flat z = 0.5 NDC plane -> window depth 0.75.
+    const auto tri = RasterizerEmulator::setup(
+        ndc(-1, -1, 0.5f), ndc(1, -1, 0.5f), ndc(0, 1, 0.5f), vp64);
+    ASSERT_TRUE(tri.valid);
+    const auto frag = RasterizerEmulator::evalFragment(tri, 32, 20);
+    ASSERT_TRUE(frag.inside);
+    EXPECT_NEAR(frag.z, 0.75f, 1e-5);
+}
+
+TEST(Rasterizer, DepthGradient)
+{
+    // z from -1 (left) to 1 (right) in NDC: window depth 0 -> 1.
+    const auto tri = RasterizerEmulator::setup(
+        {-1, -1, -1, 1}, {1, -1, 1, 1}, {-1, 3, -1, 1}, vp64);
+    ASSERT_TRUE(tri.valid);
+    const auto left = RasterizerEmulator::evalFragment(tri, 1, 1);
+    const auto mid = RasterizerEmulator::evalFragment(tri, 32, 1);
+    ASSERT_TRUE(left.inside);
+    ASSERT_TRUE(mid.inside);
+    EXPECT_LT(left.z, 0.05f);
+    EXPECT_NEAR(mid.z, 0.5f, 0.02f);
+}
+
+TEST(Rasterizer, PerspectiveCorrectInterpolation)
+{
+    // Vertices with different w: a textbook perspective case.  The
+    // triangle spans x in [-1, 1] with the right vertex at w = 4
+    // (farther).  At the screen midpoint the perspective-correct
+    // value is NOT the screen-space average.
+    const Vec4 v0{-1, -1, 0, 1};
+    const Vec4 v1{4, -4, 0, 4}; // NDC (1, -1) after division.
+    const Vec4 v2{-1, 3, 0, 1};
+    const auto tri = RasterizerEmulator::setup(v0, v1, v2, vp64);
+    ASSERT_TRUE(tri.valid);
+
+    const auto frag = RasterizerEmulator::evalFragment(tri, 32, 1);
+    ASSERT_TRUE(frag.inside);
+    const Vec4 attr = RasterizerEmulator::interpolate(
+        frag.edge, {0, 0, 0, 0}, {1, 1, 1, 1}, {0, 0, 0, 0});
+    // Perspective pulls the value toward the near (w = 1) vertex:
+    // u = (s/w1) / ((1-s)/w0 + s/w1) with s ~ 0.5: u = 0.2.
+    EXPECT_NEAR(attr.x, 0.2f, 0.02f);
+
+    // 1/w at that fragment: 1/w interpolates linearly in screen
+    // space: 0.5*(1/1) + 0.5*(1/4) = 0.625.
+    EXPECT_NEAR(RasterizerEmulator::oneOverW(tri, frag.edge),
+                0.625f, 0.02f);
+}
+
+TEST(Rasterizer, TraversalVisitsAllCoveredTiles)
+{
+    const auto tri = RasterizerEmulator::setup(
+        ndc(-0.9f, -0.9f), ndc(0.9f, -0.7f), ndc(0, 0.9f), vp64);
+    ASSERT_TRUE(tri.valid);
+
+    std::set<std::pair<s32, s32>> recursive;
+    RasterizerEmulator::traverseRecursive(
+        tri, 8, [&](s32 x, s32 y) { recursive.insert({x, y}); });
+    std::set<std::pair<s32, s32>> scanline;
+    RasterizerEmulator::traverseScanline(
+        tri, 8, [&](s32 x, s32 y) { scanline.insert({x, y}); });
+
+    // Both traversals are conservative supersets of the covered
+    // tiles and agree with each other.
+    EXPECT_EQ(recursive, scanline);
+
+    for (s32 y = 0; y < 64; ++y) {
+        for (s32 x = 0; x < 64; ++x) {
+            if (!RasterizerEmulator::evalFragment(tri, x, y).inside)
+                continue;
+            const std::pair<s32, s32> tile{x - x % 8, y - y % 8};
+            EXPECT_TRUE(recursive.count(tile))
+                << "covered pixel in unvisited tile " << x << ","
+                << y;
+        }
+    }
+}
+
+TEST(Rasterizer, NearPlaneCrossingTriangle)
+{
+    // One vertex behind the eye (negative w): trivial rejection must
+    // keep it, and homogeneous rasterization must still produce
+    // bounded, sane coverage.
+    const Vec4 v0{0, -0.5f, 0, 1};
+    const Vec4 v1{0.5f, 0.5f, 0, 1};
+    const Vec4 v2{0, 1, 0, -0.5f}; // Behind the viewer.
+    EXPECT_FALSE(ClipperEmulator::trivialReject(v0, v1, v2));
+    const auto tri = RasterizerEmulator::setup(v0, v1, v2, vp64);
+    if (tri.valid) {
+        // The bounding box must degrade to the viewport.
+        EXPECT_EQ(tri.minX, 0);
+        EXPECT_EQ(tri.maxX, 63);
+        const u32 covered = countCoverage(tri, vp64);
+        EXPECT_GT(covered, 0u);
+        EXPECT_LT(covered, 64u * 64u);
+    }
+}
+
+TEST(Clipper, TrivialRejection)
+{
+    // Entirely to the left of the frustum.
+    EXPECT_TRUE(ClipperEmulator::trivialReject(
+        {-2, 0, 0, 1}, {-3, 1, 0, 1}, {-2.5f, -1, 0, 1}));
+    // Straddling: keep.
+    EXPECT_FALSE(ClipperEmulator::trivialReject(
+        {-2, 0, 0, 1}, {0, 0, 0, 1}, {0, 1, 0, 1}));
+    // All behind the w = 0 plane.
+    EXPECT_TRUE(ClipperEmulator::trivialReject(
+        {0, 0, 0, -1}, {1, 0, 0, -2}, {0, 1, 0, -0.1f}));
+    // Outside different planes: keep (not trivially rejectable).
+    EXPECT_FALSE(ClipperEmulator::trivialReject(
+        {-2, 0, 0, 1}, {2, 0, 0, 1}, {0, 2, 0, 1}));
+    // Beyond the far plane.
+    EXPECT_TRUE(ClipperEmulator::trivialReject(
+        {0, 0, 2, 1}, {1, 0, 3, 1}, {0, 1, 2.5f, 1}));
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the ARB-style shader ISA: assembler, disassembler
+ * and static analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/shader_isa.hh"
+#include "sim/logging.hh"
+
+using namespace attila;
+using namespace attila::emu;
+
+TEST(ShaderAssembler, MinimalVertexProgram)
+{
+    ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBvp1.0
+MOV result.position, vertex.position;
+END
+)");
+    ASSERT_EQ(prog->target, ShaderTarget::Vertex);
+    ASSERT_EQ(prog->code.size(), 2u);
+    EXPECT_EQ(prog->code[0].op, Opcode::MOV);
+    EXPECT_EQ(prog->code[0].dst.bank, Bank::Output);
+    EXPECT_EQ(prog->code[0].dst.index, regix::vposPosition);
+    EXPECT_EQ(prog->code[0].src[0].bank, Bank::Attrib);
+    EXPECT_EQ(prog->code[0].src[0].index, regix::vinPosition);
+    EXPECT_EQ(prog->code[1].op, Opcode::END);
+    EXPECT_EQ(prog->inputsRead, 1u << regix::vinPosition);
+    EXPECT_EQ(prog->outputsWritten, 1u << regix::vposPosition);
+    EXPECT_EQ(prog->numTemps, 0u);
+}
+
+TEST(ShaderAssembler, DeclarationsAndSwizzles)
+{
+    ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBvp1.0
+TEMP r0, r1;
+PARAM mvp = program.env[4];
+ATTRIB pos = vertex.attrib[0];
+OUTPUT opos = result.position;
+ALIAS p = pos;
+DP4 r0.x, mvp, p;
+MOV r1, -r0.xxyy;
+MOV_SAT opos.xy, r1;
+END
+)");
+    ASSERT_EQ(prog->code.size(), 4u);
+    const Instruction& dp4 = prog->code[0];
+    EXPECT_EQ(dp4.op, Opcode::DP4);
+    EXPECT_EQ(dp4.dst.writeMask, 0x1u);
+    EXPECT_EQ(dp4.src[0].bank, Bank::Param);
+    EXPECT_EQ(dp4.src[0].index, 4u);
+
+    const Instruction& mov = prog->code[1];
+    EXPECT_TRUE(mov.src[0].negate);
+    EXPECT_EQ(mov.src[0].swizzle, (std::array<u8, 4>{0, 0, 1, 1}));
+
+    const Instruction& sat = prog->code[2];
+    EXPECT_TRUE(sat.saturate);
+    EXPECT_EQ(sat.dst.writeMask, 0x3u);
+    EXPECT_EQ(prog->numTemps, 2u);
+}
+
+TEST(ShaderAssembler, InlineLiterals)
+{
+    ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBfp1.0
+TEMP t;
+PARAM k = {0.5, 1, 2, 4};
+ADD t, fragment.color, k;
+MUL t, t, 0.25;
+MUL t, t, 0.25;
+MOV result.color, t;
+END
+)");
+    // Two distinct literals (the vector and the scalar), scalar
+    // deduplicated.
+    ASSERT_EQ(prog->literals.size(), 2u);
+    EXPECT_EQ(prog->literals[0].second,
+              Vec4(0.5f, 1.0f, 2.0f, 4.0f));
+    EXPECT_EQ(prog->literals[1].second,
+              Vec4(0.25f, 0.25f, 0.25f, 0.25f));
+    EXPECT_EQ(prog->literals[0].first, regix::paramLiteralTop);
+    EXPECT_EQ(prog->literals[1].first, regix::paramLiteralTop - 1);
+}
+
+TEST(ShaderAssembler, TextureInstruction)
+{
+    ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBfp1.0
+TEMP c;
+TEX c, fragment.texcoord[2], texture[3], 2D;
+TXP c, fragment.texcoord[0], texture[0], CUBE;
+MOV result.color, c;
+END
+)");
+    EXPECT_EQ(prog->code[0].op, Opcode::TEX);
+    EXPECT_EQ(prog->code[0].texUnit, 3u);
+    EXPECT_EQ(prog->code[0].texTarget, TexTarget::Tex2D);
+    EXPECT_EQ(prog->code[0].src[0].index,
+              regix::ioTexCoordBase + 2);
+    EXPECT_EQ(prog->code[1].op, Opcode::TXP);
+    EXPECT_EQ(prog->code[1].texTarget, TexTarget::Cube);
+    EXPECT_EQ(prog->texturesUsed, (1u << 3) | 1u);
+    EXPECT_EQ(prog->textureInstructions, 2u);
+}
+
+TEST(ShaderAssembler, RejectsErrors)
+{
+    ShaderAssembler assembler;
+    // Missing END.
+    EXPECT_THROW(assembler.assemble("!!ARBvp1.0\nMOV result.position,"
+                                    " vertex.position;"),
+                 FatalError);
+    // Texture op in a vertex program.
+    EXPECT_THROW(assembler.assemble(R"(!!ARBvp1.0
+TEMP t;
+TEX t, vertex.texcoord[0], texture[0], 2D;
+END
+)"),
+                 FatalError);
+    // KIL in a vertex program.
+    EXPECT_THROW(assembler.assemble(R"(!!ARBvp1.0
+KIL vertex.position;
+END
+)"),
+                 FatalError);
+    // Write to an input.
+    EXPECT_THROW(assembler.assemble(R"(!!ARBfp1.0
+MOV fragment.color, fragment.color;
+END
+)"),
+                 FatalError);
+    // Read from an output.
+    EXPECT_THROW(assembler.assemble(R"(!!ARBfp1.0
+MOV result.color, result.color;
+END
+)"),
+                 FatalError);
+    // Unknown opcode.
+    EXPECT_THROW(assembler.assemble(R"(!!ARBfp1.0
+FOO result.color, fragment.color;
+END
+)"),
+                 FatalError);
+    // Bad header.
+    EXPECT_THROW(assembler.assemble("MOV a, b;\nEND\n"), FatalError);
+}
+
+TEST(ShaderAssembler, CommentsIgnored)
+{
+    ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBfp1.0
+# whole line comment
+MOV result.color, fragment.color; # trailing comment
+END
+)");
+    EXPECT_EQ(prog->code.size(), 2u);
+}
+
+TEST(Disassembler, RoundTripReassembles)
+{
+    ShaderAssembler assembler;
+    const std::string source = R"(!!ARBfp1.0
+TEMP a, b;
+MAD a.xyz, fragment.color, -fragment.texcoord[1].wzyx, b;
+TEX b, fragment.texcoord[0], texture[2], CUBE;
+MOV_SAT result.color, a;
+END
+)";
+    auto prog = assembler.assemble(source);
+    const std::string text = disassemble(*prog);
+    EXPECT_NE(text.find("MAD"), std::string::npos);
+    EXPECT_NE(text.find("_SAT"), std::string::npos);
+    EXPECT_NE(text.find("texture[2]"), std::string::npos);
+    EXPECT_NE(text.find("CUBE"), std::string::npos);
+    EXPECT_NE(text.find(".wzyx"), std::string::npos);
+}
+
+TEST(ShaderIsa, OpcodeTableConsistency)
+{
+    for (u32 i = 0; i < numOpcodes; ++i) {
+        const OpcodeInfo& info = opcodeInfo(static_cast<Opcode>(i));
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_LE(info.numSrc, 3u);
+        EXPECT_GE(info.latency, 1u);
+        EXPECT_LE(info.latency, 9u);
+    }
+    EXPECT_STREQ(opcodeInfo(Opcode::MAD).name, "MAD");
+    EXPECT_EQ(opcodeInfo(Opcode::MAD).numSrc, 3u);
+    EXPECT_FALSE(opcodeInfo(Opcode::KIL).hasDst);
+    EXPECT_TRUE(opcodeInfo(Opcode::TEX).isTexture);
+}
+
+TEST(ShaderIsa, AnalyzeProgramRecomputes)
+{
+    ShaderAssembler assembler;
+    auto prog = assembler.assemble(R"(!!ARBfp1.0
+TEMP t;
+MOV t, fragment.color;
+MOV result.color, t;
+END
+)");
+    ShaderProgram copy = *prog;
+    // Mutate: write depth too.
+    Instruction ins;
+    ins.op = Opcode::MOV;
+    ins.dst.bank = Bank::Output;
+    ins.dst.index = regix::foutDepth;
+    ins.src[0].bank = Bank::Temp;
+    ins.src[0].index = 5;
+    copy.code.insert(copy.code.end() - 1, ins);
+    analyzeProgram(copy);
+    EXPECT_EQ(copy.numTemps, 6u);
+    EXPECT_TRUE(copy.outputsWritten & (1u << regix::foutDepth));
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the double-sided stencil extension (paper §7 future
+ * work): emulator semantics, single-pass shadow-volume counting and
+ * timing-vs-reference parity.
+ */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "gl/context.hh"
+#include "gpu/gpu.hh"
+#include "gpu/ref_renderer.hh"
+
+using namespace attila;
+using namespace attila::emu;
+
+TEST(TwoSidedStencil, EmulatorSelectsFaceState)
+{
+    ZStencilState state;
+    state.stencilTest = true;
+    state.twoSided = true;
+    state.stencilFunc = CompareFunc::Always;
+    state.depthPass = StencilOp::IncrWrap;
+    state.backFunc = CompareFunc::Always;
+    state.backDepthPass = StencilOp::DecrWrap;
+
+    const u32 stored = packDepthStencil(0, 10);
+    auto front = FragmentOpEmulator::zStencilTest(state, 0, stored,
+                                                  false);
+    EXPECT_EQ(stencilOf(front.newZS), 11);
+    auto back = FragmentOpEmulator::zStencilTest(state, 0, stored,
+                                                 true);
+    EXPECT_EQ(stencilOf(back.newZS), 9);
+
+    // With twoSided off, facing is ignored.
+    state.twoSided = false;
+    back = FragmentOpEmulator::zStencilTest(state, 0, stored, true);
+    EXPECT_EQ(stencilOf(back.newZS), 11);
+}
+
+TEST(TwoSidedStencil, BackFaceFailOp)
+{
+    ZStencilState state;
+    state.stencilTest = true;
+    state.twoSided = true;
+    state.stencilFunc = CompareFunc::Always;
+    state.backFunc = CompareFunc::Never;
+    state.backFail = StencilOp::Replace;
+    state.backRef = 0x77;
+
+    const u32 stored = packDepthStencil(123, 1);
+    auto back = FragmentOpEmulator::zStencilTest(state, 0, stored,
+                                                 true);
+    EXPECT_FALSE(back.pass);
+    EXPECT_EQ(stencilOf(back.newZS), 0x77);
+    EXPECT_EQ(depthOf(back.newZS), 123u); // Depth untouched.
+}
+
+namespace
+{
+
+/**
+ * Single-pass shadow-volume counting scene: a closed "volume" (two
+ * quads with opposite windings standing in for the volume's front
+ * and back hulls) stenciled in ONE draw with two-sided ops, then a
+ * colour pass where the stencil stayed zero.
+ */
+gpu::CommandList
+buildScene()
+{
+    using namespace gpu;
+    using C = Command;
+    constexpr u32 fbW = 48, fbH = 48;
+    CommandList list;
+    list.push_back(C::writeReg(Reg::FbWidth, RegValue(fbW)));
+    list.push_back(C::writeReg(Reg::FbHeight, RegValue(fbH)));
+    list.push_back(C::writeReg(Reg::ColorBufferAddr, RegValue(0u)));
+    list.push_back(C::writeReg(Reg::ZStencilBufferAddr,
+                               RegValue(fbSurfaceBytes(fbW, fbH))));
+    list.push_back(C::writeReg(Reg::ViewportWidth, RegValue(fbW)));
+    list.push_back(C::writeReg(Reg::ViewportHeight, RegValue(fbH)));
+    list.push_back(C::writeReg(Reg::ClearColor,
+                               RegValue(emu::Vec4(0, 0, 0, 1))));
+    list.push_back(C::writeReg(Reg::ClearDepth, RegValue(1.0f)));
+    list.push_back(C::writeReg(Reg::ClearStencil, RegValue(0u)));
+
+    emu::ShaderAssembler assembler;
+    list.push_back(C::loadVertexProgram(assembler.assemble(
+        "!!ARBvp1.0\nMOV result.position, vertex.attrib[0];\n"
+        "MOV result.color, vertex.attrib[3];\nEND\n")));
+    list.push_back(C::loadFragmentProgram(assembler.assemble(
+        "!!ARBfp1.0\nMOV result.color, fragment.color;\nEND\n")));
+
+    // Vertices: a CCW quad (front hull) and a CW quad (back hull)
+    // covering the left half of the screen, plus a fullscreen CCW
+    // triangle for the colour pass.
+    std::vector<emu::Vec4> positions = {
+        // CCW quad (two triangles), z = 0.
+        {-1, -1, 0, 1}, {0, -1, 0, 1}, {0, 1, 0, 1},
+        {-1, -1, 0, 1}, {0, 1, 0, 1}, {-1, 1, 0, 1},
+        // Same quad with CW winding, slightly farther.
+        {0, -1, 0.2f, 1}, {-1, -1, 0.2f, 1}, {-1, 1, 0.2f, 1},
+        {0, -1, 0.2f, 1}, {-1, 1, 0.2f, 1}, {0, 1, 0.2f, 1},
+        // Fullscreen triangle.
+        {-1, -1, 0.5f, 1}, {3, -1, 0.5f, 1}, {-1, 3, 0.5f, 1}};
+    std::vector<emu::Vec4> colors(positions.size(),
+                                  {0.2f, 0.9f, 0.3f, 1.0f});
+    std::vector<u8> pos(positions.size() * 16);
+    std::memcpy(pos.data(), positions.data(), pos.size());
+    list.push_back(C::writeBuffer(0x100000, std::move(pos)));
+    std::vector<u8> col(colors.size() * 16);
+    std::memcpy(col.data(), colors.data(), col.size());
+    list.push_back(C::writeBuffer(0x110000, std::move(col)));
+    for (u32 attr : {0u, 3u}) {
+        list.push_back(C::writeReg(Reg::StreamEnable, RegValue(1u),
+                                   attr));
+        list.push_back(C::writeReg(
+            Reg::StreamAddress,
+            RegValue(attr == 0 ? 0x100000u : 0x110000u), attr));
+        list.push_back(C::writeReg(Reg::StreamStride,
+                                   RegValue(16u), attr));
+        list.push_back(C::writeReg(
+            Reg::StreamFormat_,
+            RegValue(static_cast<u32>(StreamFormat::Float4)),
+            attr));
+    }
+    list.push_back(C::clearColor());
+    list.push_back(C::clearZStencil());
+
+    // Single-pass volume: front faces increment, back faces
+    // decrement (no culling, one draw of all 12 vertices).
+    list.push_back(C::writeReg(Reg::ColorWriteMask, RegValue(0u)));
+    list.push_back(C::writeReg(Reg::StencilTestEnable,
+                               RegValue(1u)));
+    list.push_back(C::writeReg(Reg::StencilTwoSideEnable,
+                               RegValue(1u)));
+    list.push_back(C::writeReg(
+        Reg::StencilFunc,
+        RegValue(static_cast<u32>(emu::CompareFunc::Always))));
+    list.push_back(C::writeReg(
+        Reg::StencilOpZPass,
+        RegValue(static_cast<u32>(emu::StencilOp::IncrWrap))));
+    list.push_back(C::writeReg(
+        Reg::StencilBackFunc,
+        RegValue(static_cast<u32>(emu::CompareFunc::Always))));
+    list.push_back(C::writeReg(
+        Reg::StencilBackOpZPass,
+        RegValue(static_cast<u32>(emu::StencilOp::DecrWrap))));
+    list.push_back(C::drawBatch(Primitive::Triangles, 12));
+
+    // Colour pass where the counts cancelled (stencil == 0).
+    list.push_back(C::writeReg(Reg::ColorWriteMask, RegValue(0xfu)));
+    list.push_back(C::writeReg(Reg::StencilTwoSideEnable,
+                               RegValue(0u)));
+    list.push_back(C::writeReg(
+        Reg::StencilFunc,
+        RegValue(static_cast<u32>(emu::CompareFunc::Equal))));
+    list.push_back(C::writeReg(Reg::StencilRef, RegValue(0u)));
+    list.push_back(C::writeReg(
+        Reg::StencilOpZPass,
+        RegValue(static_cast<u32>(emu::StencilOp::Keep))));
+    list.push_back(C::drawBatch(Primitive::Triangles, 3, 12));
+    list.push_back(C::swap());
+    return list;
+}
+
+} // anonymous namespace
+
+TEST(TwoSidedStencil, SinglePassVolumeCountsCancel)
+{
+    const auto list = buildScene();
+    gpu::RefRenderer ref(4u << 20);
+    ref.execute(list);
+    const auto& frame = ref.frames().back();
+    // Left half: +1 (front) -1 (back) = 0 -> colour drawn.
+    // Right half: untouched stencil 0 -> colour drawn too.
+    // Both halves green; nothing stays black.
+    const u32 green = 0xff000000u | (230u << 8) | 51u | (77u << 16);
+    (void)green;
+    EXPECT_NE(frame.pixel(5, 24) & 0xff00u, 0u);  // Left half.
+    EXPECT_NE(frame.pixel(40, 24) & 0xff00u, 0u); // Right half.
+}
+
+TEST(TwoSidedStencil, PipelineMatchesReference)
+{
+    const auto list = buildScene();
+    gpu::GpuConfig config;
+    config.memorySize = 4u << 20;
+    gpu::Gpu gpu(config);
+    gpu.submit(list);
+    ASSERT_TRUE(gpu.runUntilIdle(50'000'000));
+    gpu::RefRenderer ref(4u << 20);
+    ref.execute(list);
+    EXPECT_EQ(gpu.frames().back().diffCount(ref.frames().back()),
+              0u);
+}
+
+TEST(TwoSidedStencil, GlApiRoundTrip)
+{
+    gl::Context ctx(32, 32, 4u << 20);
+    ctx.enable(gl::Cap::StencilTwoSide);
+    EXPECT_TRUE(ctx.isEnabled(gl::Cap::StencilTwoSide));
+    ctx.stencilFuncBack(CompareFunc::Always, 0, 0xff);
+    ctx.stencilOpBack(StencilOp::Keep, StencilOp::Keep,
+                      StencilOp::DecrWrap);
+    const u32 buf = ctx.genBuffer();
+    ctx.bufferData(buf, std::vector<u8>(48, 0));
+    ctx.vertexPointer(buf, gpu::StreamFormat::Float4, 16, 0);
+    ctx.drawArrays(gpu::Primitive::Triangles, 0, 3);
+    // The emitted stream must carry the back-face registers.
+    bool sawTwoSide = false, sawBackOp = false;
+    for (const auto& cmd : ctx.takeCommands()) {
+        if (cmd.op != gpu::CommandOp::WriteReg)
+            continue;
+        if (cmd.reg == gpu::Reg::StencilTwoSideEnable &&
+            cmd.value.u == 1) {
+            sawTwoSide = true;
+        }
+        if (cmd.reg == gpu::Reg::StencilBackOpZPass &&
+            cmd.value.u ==
+                static_cast<u32>(StencilOp::DecrWrap)) {
+            sawBackOp = true;
+        }
+    }
+    EXPECT_TRUE(sawTwoSide);
+    EXPECT_TRUE(sawBackOp);
+}
