@@ -96,6 +96,7 @@ overdrawScene(u32 layers, u32 fbW, u32 fbH)
 int
 main()
 {
+    setBench("ablations");
     printHeader("Ablations: HZ / Z-compression / fast clear /"
                 " vertex cache");
 

@@ -7,6 +7,7 @@
 #ifndef ATTILA_BENCH_COMMON_HH
 #define ATTILA_BENCH_COMMON_HH
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -21,12 +22,38 @@
 namespace attila::bench
 {
 
+/** Binary-wide benchmark name used in the BENCH_JSON lines; set it
+ * once at the top of each bench's main(). */
+inline std::string&
+benchName()
+{
+    static std::string name = "bench";
+    return name;
+}
+
+inline void
+setBench(const std::string& name)
+{
+    benchName() = name;
+}
+
 /** Outcome of one simulated run. */
 struct RunResult
 {
     u64 cycles = 0;
     u32 frames = 0;
+    f64 wallSeconds = 0.0;
     std::unique_ptr<gpu::Gpu> gpu;
+
+    /** Wall-clock simulation speed in simulated kilocycles per
+     * second of host time. */
+    f64
+    simKHz() const
+    {
+        if (wallSeconds <= 0.0)
+            return 0.0;
+        return static_cast<f64>(cycles) / wallSeconds / 1e3;
+    }
 
     /** Frames per second at the configured clock. */
     f64
@@ -71,21 +98,52 @@ buildCommands(workloads::Workload& workload)
     return ctx.takeCommands();
 }
 
-/** Run @p commands on a GPU with @p config. */
+/**
+ * One machine-readable line per run, greppable as ^BENCH_JSON.  The
+ * scheduler fields reflect the effective config (after environment
+ * overrides), so speedup sweeps can be driven externally.
+ */
+inline void
+emitJson(const std::string& label, const RunResult& result)
+{
+    const gpu::GpuConfig& c = result.gpu->config();
+    const char* sched =
+        c.scheduler == gpu::SchedulerKind::Parallel ? "parallel"
+                                                    : "serial";
+    std::cout << "BENCH_JSON {\"bench\":\"" << benchName()
+              << "\",\"label\":\"" << label
+              << "\",\"cycles\":" << result.cycles
+              << ",\"frames\":" << result.frames << ",\"fps\":"
+              << std::fixed << std::setprecision(3) << result.fps()
+              << ",\"wall_s\":" << std::setprecision(6)
+              << result.wallSeconds << ",\"khz\":"
+              << std::setprecision(3) << result.simKHz()
+              << ",\"scheduler\":\"" << sched
+              << "\",\"threads\":" << c.schedulerThreads << "}\n"
+              << std::defaultfloat;
+}
+
+/** Run @p commands on a GPU with @p config.  Every run is timed and
+ * reported as a BENCH_JSON line tagged with @p label. */
 inline RunResult
 run(const gpu::CommandList& commands, gpu::GpuConfig config,
-    u32 frames)
+    u32 frames, const std::string& label = "run")
 {
     config.memorySize = 64u << 20;
     RunResult result;
     result.gpu = std::make_unique<gpu::Gpu>(config);
     result.gpu->dac().setKeepLastOnly(true);
     result.gpu->submit(commands);
+    const auto start = std::chrono::steady_clock::now();
     if (!result.gpu->runUntilIdle(2'000'000'000ull)) {
         std::cerr << "warning: pipeline did not drain\n";
     }
+    const auto stop = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<f64>(stop - start).count();
     result.cycles = result.gpu->cycle();
     result.frames = frames;
+    emitJson(label, result);
     return result;
 }
 

@@ -22,6 +22,7 @@ using namespace attila::bench;
 int
 main()
 {
+    setBench("fig10_image_verify");
     printHeader("Figure 10: simulator vs reference image"
                 " verification");
 

@@ -27,6 +27,7 @@ using namespace attila::bench;
 int
 main()
 {
+    setBench("fig7_alu_tex_ratio");
     printHeader("Figure 7: shader ALU vs texture unit ratio");
 
     struct Trace

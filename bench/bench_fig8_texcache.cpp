@@ -22,6 +22,7 @@ using namespace attila::bench;
 int
 main()
 {
+    setBench("fig8_texcache");
     printHeader("Figure 8: texture cache behaviour vs TU count");
 
     auto params = benchParams();

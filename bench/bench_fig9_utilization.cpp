@@ -56,6 +56,7 @@ printSeries(const std::vector<UnitSeries>& series)
 int
 main()
 {
+    setBench("fig9_utilization");
     printHeader("Figure 9: unit utilization per 10K-cycle window");
 
     auto params = benchParams(/*frames=*/1);

@@ -7,6 +7,11 @@
  * rate, rasterizer setup and Z-tile compression.
  */
 
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "emu/fragment_op_emulator.hh"
@@ -15,8 +20,76 @@
 #include "emu/z_compressor.hh"
 #include "sim/object_pool.hh"
 #include "sim/signal.hh"
+#include "sim/simulator.hh"
 
 using namespace attila;
+
+namespace
+{
+
+/** A producer->sink chain exercising the two-phase clock loop. */
+struct ClockLoopModel
+{
+    class Stage : public sim::Box
+    {
+      public:
+        Stage(sim::SignalBinder& binder,
+              sim::StatisticManager& stats, const std::string& name,
+              const std::string& in, const std::string& out)
+            : Box(binder, stats, name)
+        {
+            if (!in.empty())
+                _in = input(in, 1, 1);
+            if (!out.empty())
+                _out = output(out, 1, 1);
+        }
+
+        void
+        update(Cycle cycle) override
+        {
+            sim::DynamicObjectPtr obj;
+            if (_in)
+                obj = _in->read(cycle);
+            else
+                obj = std::make_shared<sim::DynamicObject>();
+            if (obj && _out && _out->canWrite(cycle))
+                _out->write(cycle, std::move(obj));
+        }
+
+      private:
+        sim::Signal* _in = nullptr;
+        sim::Signal* _out = nullptr;
+    };
+
+    explicit ClockLoopModel(u32 stages)
+    {
+        for (u32 i = 0; i < stages; ++i) {
+            const std::string in =
+                i == 0 ? "" : "wire" + std::to_string(i - 1);
+            const std::string out =
+                i + 1 == stages ? "" : "wire" + std::to_string(i);
+            boxes.push_back(std::make_unique<Stage>(
+                sim.binder(), sim.stats(),
+                "stage" + std::to_string(i), in, out));
+            sim.addBox(boxes.back().get());
+        }
+    }
+
+    sim::Simulator sim;
+    std::vector<std::unique_ptr<Stage>> boxes;
+};
+
+} // anonymous namespace
+
+static void
+BM_TwoPhaseClockLoop(benchmark::State& state)
+{
+    ClockLoopModel model(16);
+    for (auto _ : state)
+        model.sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoPhaseClockLoop);
 
 static void
 BM_SignalWriteRead(benchmark::State& state)
@@ -138,4 +211,29 @@ BM_ZTileCompress(benchmark::State& state)
 }
 BENCHMARK(BM_ZTileCompress);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Machine-readable wall-clock line matching the other bench
+    // binaries: the raw two-phase clock-loop rate.
+    constexpr u64 cycles = 200'000;
+    ClockLoopModel model(16);
+    const auto start = std::chrono::steady_clock::now();
+    model.sim.run(cycles);
+    const auto stop = std::chrono::steady_clock::now();
+    const f64 wall =
+        std::chrono::duration<f64>(stop - start).count();
+    std::cout << "BENCH_JSON {\"bench\":\"micro_framework\","
+              << "\"label\":\"two_phase_clock_loop\",\"cycles\":"
+              << cycles << ",\"wall_s\":" << wall << ",\"khz\":"
+              << (wall > 0.0 ? static_cast<f64>(cycles) / wall / 1e3
+                             : 0.0)
+              << ",\"scheduler\":\"serial\",\"threads\":1}\n";
+    return 0;
+}

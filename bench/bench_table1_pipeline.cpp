@@ -42,6 +42,7 @@ printTopology(const char* title, const gpu::GpuConfig& config)
 int
 main()
 {
+    setBench("table1_pipeline");
     printHeader("Table 1: baseline ATTILA architecture");
 
     const gpu::GpuConfig c = gpu::GpuConfig::baseline();
@@ -101,5 +102,41 @@ main()
     gpu::GpuConfig nonUnified = c;
     nonUnified.unifiedShaders = false;
     printTopology("Figure 1: non-unified pipeline", nonUnified);
-    return 0;
+
+    // Execution-engine speedup: the same baseline pipeline driven by
+    // the serial reference scheduler and by the parallel worker-pool
+    // scheduler.  Cycle counts must match exactly (the two-phase
+    // clock makes intra-cycle order irrelevant); wall-clock KHz is
+    // where they differ.
+    printHeader("Scheduler speedup: serial vs parallel box loop");
+    workloads::WorkloadParams params = benchParams(1, 128);
+    workloads::TerrainWorkload terrain(params);
+    const gpu::CommandList commands = buildCommands(terrain);
+
+    gpu::GpuConfig serialCfg = c;
+    serialCfg.scheduler = gpu::SchedulerKind::Serial;
+    const RunResult serial =
+        run(commands, serialCfg, params.frames, "terrain_serial");
+
+    gpu::GpuConfig parallelCfg = c;
+    parallelCfg.scheduler = gpu::SchedulerKind::Parallel;
+    parallelCfg.schedulerThreads = 0; // All hardware threads.
+    const RunResult parallel = run(commands, parallelCfg,
+                                   params.frames, "terrain_parallel");
+
+    std::cout << "  serial:   " << serial.cycles << " cycles, "
+              << std::fixed << std::setprecision(1)
+              << serial.simKHz() << " KHz\n"
+              << "  parallel: " << parallel.cycles << " cycles, "
+              << parallel.simKHz() << " KHz\n"
+              << "  speedup:  " << std::setprecision(2)
+              << (serial.wallSeconds > 0.0
+                      ? parallel.simKHz() / serial.simKHz()
+                      : 0.0)
+              << "x  cycle counts "
+              << (serial.cycles == parallel.cycles ? "MATCH"
+                                                   : "DIVERGE")
+              << "\n"
+              << std::defaultfloat;
+    return serial.cycles == parallel.cycles ? 0 : 1;
 }

@@ -14,6 +14,7 @@ using namespace attila::bench;
 int
 main()
 {
+    setBench("table2_caches");
     printHeader("Table 2: baseline ATTILA caches");
 
     const gpu::GpuConfig c = gpu::GpuConfig::baseline();

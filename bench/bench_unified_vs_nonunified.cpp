@@ -18,6 +18,7 @@ using namespace attila::bench;
 int
 main()
 {
+    setBench("unified_vs_nonunified");
     printHeader("Unified vs non-unified shader model (paper"
                 " refs [1], [2])");
 

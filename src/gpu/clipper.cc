@@ -21,7 +21,7 @@ Clipper::Clipper(sim::SignalBinder& binder,
 }
 
 void
-Clipper::clock(Cycle cycle)
+Clipper::update(Cycle cycle)
 {
     _in.clock(cycle);
     _out.clock(cycle);

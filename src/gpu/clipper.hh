@@ -23,7 +23,7 @@ class Clipper : public sim::Box
     Clipper(sim::SignalBinder& binder, sim::StatisticManager& stats,
             const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -225,7 +225,7 @@ ColorWrite::tryRetire(Cycle cycle)
 }
 
 void
-ColorWrite::clock(Cycle cycle)
+ColorWrite::update(Cycle cycle)
 {
     _earlyIn.clock(cycle);
     _lateIn.clock(cycle);

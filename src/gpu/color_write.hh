@@ -122,7 +122,7 @@ class ColorWrite : public sim::Box
                sim::StatisticManager& stats, const GpuConfig& config,
                u32 unit, emu::GpuMemory& memory);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
     /** Clear-state shared with the DAC for frame assembly. */

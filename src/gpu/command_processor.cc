@@ -301,7 +301,7 @@ CommandProcessor::continueCommand(Cycle cycle)
 }
 
 void
-CommandProcessor::clock(Cycle cycle)
+CommandProcessor::update(Cycle cycle)
 {
     _drawOut.clock(cycle);
     for (auto& l : _ctrlRopz)

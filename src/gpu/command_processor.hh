@@ -43,7 +43,7 @@ class CommandProcessor : public sim::Box
                      sim::StatisticManager& stats,
                      const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
     /** Append a command stream for execution. */

@@ -105,7 +105,7 @@ Dac::assembleFrame(const RenderState& state)
 }
 
 void
-Dac::clock(Cycle cycle)
+Dac::update(Cycle cycle)
 {
     _ctrl.clock(cycle);
     _ack.clock(cycle);

@@ -50,7 +50,7 @@ class Dac : public sim::Box
     Dac(sim::SignalBinder& binder, sim::StatisticManager& stats,
         const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
     /** Clear-state tables of the ColorWrite units (set by Gpu). */

@@ -417,7 +417,7 @@ FragmentFifo::commitFragments(Cycle cycle)
 }
 
 void
-FragmentFifo::clock(Cycle cycle)
+FragmentFifo::update(Cycle cycle)
 {
     _vertexIn.clock(cycle);
     _fragmentIn.clock(cycle);

@@ -41,7 +41,7 @@ class FragmentFifo : public sim::Box
                  sim::StatisticManager& stats,
                  const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -100,7 +100,7 @@ FragmentGenerator::startTriangle(Cycle cycle)
 }
 
 void
-FragmentGenerator::clock(Cycle cycle)
+FragmentGenerator::update(Cycle cycle)
 {
     _in.clock(cycle);
     _out.clock(cycle);

@@ -31,7 +31,7 @@ class FragmentGenerator : public sim::Box
                       sim::StatisticManager& stats,
                       const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -1,11 +1,45 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace attila::gpu
 {
 
+namespace
+{
+
+/**
+ * Environment overrides for the execution engine, so every binary
+ * (tests, benches, examples) can be switched without a config knob:
+ * ATTILA_SCHEDULER=serial|parallel, ATTILA_SCHED_THREADS=N.
+ */
+GpuConfig
+applyEnvOverrides(GpuConfig config)
+{
+    if (const char* env = std::getenv("ATTILA_SCHEDULER")) {
+        const std::string kind(env);
+        if (kind == "serial") {
+            config.scheduler = SchedulerKind::Serial;
+        } else if (kind == "parallel") {
+            config.scheduler = SchedulerKind::Parallel;
+        } else if (!kind.empty()) {
+            fatal("ATTILA_SCHEDULER='", kind,
+                  "': expected 'serial' or 'parallel'");
+        }
+    }
+    if (const char* env = std::getenv("ATTILA_SCHED_THREADS")) {
+        config.schedulerThreads =
+            static_cast<u32>(std::strtoul(env, nullptr, 10));
+    }
+    return config;
+}
+
+} // anonymous namespace
+
 Gpu::Gpu(const GpuConfig& config)
-    : _config(config),
-      _memory(std::make_unique<emu::GpuMemory>(config.memorySize))
+    : _config(applyEnvOverrides(config)),
+      _memory(std::make_unique<emu::GpuMemory>(_config.memorySize))
 {
     _sim.stats().setWindow(config.statsWindow);
     if (!config.signalTracePath.empty())
@@ -73,43 +107,56 @@ Gpu::Gpu(const GpuConfig& config)
 
     binder.checkConnectivity();
 
-    _sim.addBox(_commandProcessor.get());
-    _sim.addBox(_streamer.get());
-    _sim.addBox(_assembly.get());
-    _sim.addBox(_clipper.get());
-    _sim.addBox(_setup.get());
-    _sim.addBox(_fragmentGenerator.get());
-    _sim.addBox(_hz.get());
+    // The whole pipeline runs in one master-rate domain for now; the
+    // domain layer is the seam for future memory/display clocks.
+    sim::ClockDomain& core = _sim.domain("gpu");
+    core.addBox(_commandProcessor.get());
+    core.addBox(_streamer.get());
+    core.addBox(_assembly.get());
+    core.addBox(_clipper.get());
+    core.addBox(_setup.get());
+    core.addBox(_fragmentGenerator.get());
+    core.addBox(_hz.get());
     for (auto& rop : _ropz)
-        _sim.addBox(rop.get());
-    _sim.addBox(_interpolator.get());
-    _sim.addBox(_ffifo.get());
+        core.addBox(rop.get());
+    core.addBox(_interpolator.get());
+    core.addBox(_ffifo.get());
     for (auto& shader : _shaders)
-        _sim.addBox(shader.get());
+        core.addBox(shader.get());
     for (auto& tu : _textureUnits)
-        _sim.addBox(tu.get());
+        core.addBox(tu.get());
     for (auto& rop : _ropc)
-        _sim.addBox(rop.get());
-    _sim.addBox(_dac.get());
-    _sim.addBox(_memoryController.get());
+        core.addBox(rop.get());
+    core.addBox(_dac.get());
+    core.addBox(_memoryController.get());
+
+    if (_config.scheduler == SchedulerKind::Parallel) {
+        if (!_config.signalTracePath.empty()) {
+            // The trace file's record order is only meaningful when
+            // boxes commit in a fixed order.
+            warn("signal tracing forces the serial scheduler");
+        } else {
+            _sim.setScheduler(std::make_unique<sim::ParallelScheduler>(
+                _config.schedulerThreads));
+        }
+    }
 }
 
 bool
 Gpu::runUntilIdle(u64 max_cycles)
 {
-    // Signals can hold objects in flight for up to the largest
-    // configured latency, which boxes' empty() cannot see; require
-    // a long stable-empty streak before declaring the drain done.
-    constexpr u32 stableCycles = 64;
-    u32 stable = 0;
+    // The full quiescence check walks every box and every signal
+    // (including objects still inside the wires), so it only runs
+    // every drainPollInterval cycles once the command stream is
+    // exhausted; the per-cycle cost is a single empty() call on the
+    // command processor.
+    const u64 poll = std::max(1u, _config.drainPollInterval);
     for (u64 i = 0; i < max_cycles; ++i) {
         _sim.step();
-        if (_commandProcessor->empty() && _sim.allEmpty()) {
-            if (++stable >= stableCycles)
-                return true;
-        } else {
-            stable = 0;
-        }
+        if (!_commandProcessor->empty())
+            continue;
+        if (_sim.cycle() % poll == 0 && _sim.quiescent())
+            return true;
     }
     return false;
 }

@@ -32,6 +32,13 @@ enum class FragmentGenKind : u8
     Scanline,  ///< Neon-style tile scanner.
 };
 
+/** Engine clocking the boxes each cycle (sim/scheduler.hh). */
+enum class SchedulerKind : u8
+{
+    Serial,   ///< Single-threaded reference engine.
+    Parallel, ///< Worker pool, one barrier per phase.
+};
+
 /** The full configuration of a simulated ATTILA GPU. */
 struct GpuConfig
 {
@@ -121,6 +128,18 @@ struct GpuConfig
     u32 readWriteTurnaround = 4;   ///< Cycles on rd<->wr switch.
     u32 memoryRequestQueue = 16;   ///< Per-client request queue.
     u32 systemBusBytesPerCycle = 16; ///< PCIe-like: 2 x 8 B/cycle.
+
+    // ===== Execution engine =========================================
+    /** Box-loop engine; overridable via ATTILA_SCHEDULER
+     * (serial|parallel). */
+    SchedulerKind scheduler = SchedulerKind::Serial;
+    /** Worker threads for the parallel engine; 0 = all hardware
+     * threads.  Overridable via ATTILA_SCHED_THREADS. */
+    u32 schedulerThreads = 0;
+    /** Cycles between drain polls once the command stream is
+     * exhausted (the poll walks every box and signal, so it is too
+     * expensive to run each cycle). */
+    u32 drainPollInterval = 64;
 
     // ===== Statistics / debugging ===================================
     u64 statsWindow = 10000; ///< Sampling window in cycles.

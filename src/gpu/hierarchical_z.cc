@@ -194,7 +194,7 @@ HierarchicalZ::processTiles(Cycle cycle)
 }
 
 void
-HierarchicalZ::clock(Cycle cycle)
+HierarchicalZ::update(Cycle cycle)
 {
     _in.clock(cycle);
     for (auto& out : _toRopz)

@@ -39,7 +39,7 @@ class HierarchicalZ : public sim::Box
                   sim::StatisticManager& stats,
                   const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
     /** Quantize a depth to the 8-bit HZ scale (round up = far). */

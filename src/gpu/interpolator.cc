@@ -155,7 +155,7 @@ Interpolator::drain(Cycle cycle)
 }
 
 void
-Interpolator::clock(Cycle cycle)
+Interpolator::update(Cycle cycle)
 {
     for (auto& rx : _in)
         rx->clock(cycle);

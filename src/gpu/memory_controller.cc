@@ -169,7 +169,7 @@ MemoryController::sendResponses(Cycle cycle)
 }
 
 void
-MemoryController::clock(Cycle cycle)
+MemoryController::update(Cycle cycle)
 {
     acceptRequests(cycle);
     completeBursts(cycle);

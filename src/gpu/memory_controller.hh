@@ -100,7 +100,7 @@ class MemoryController : public sim::Box
                      const GpuConfig& config, emu::GpuMemory& memory,
                      std::vector<std::string> client_ports);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
     /** Total bytes transferred (reads + writes). */

@@ -144,7 +144,7 @@ PrimitiveAssembly::assemble(Cycle cycle)
 }
 
 void
-PrimitiveAssembly::clock(Cycle cycle)
+PrimitiveAssembly::update(Cycle cycle)
 {
     _in.clock(cycle);
     _out.clock(cycle);

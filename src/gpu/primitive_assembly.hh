@@ -26,7 +26,7 @@ class PrimitiveAssembly : public sim::Box
                       sim::StatisticManager& stats,
                       const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -300,7 +300,7 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
 }
 
 void
-ShaderUnit::clock(Cycle cycle)
+ShaderUnit::update(Cycle cycle)
 {
     _in.clock(cycle);
     _out.clock(cycle);

@@ -56,7 +56,7 @@ class ShaderUnit : public sim::Box
                sim::StatisticManager& stats, const GpuConfig& config,
                u32 unit, bool vertex_only);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -376,7 +376,7 @@ Streamer::commit(Cycle cycle)
 }
 
 void
-Streamer::clock(Cycle cycle)
+Streamer::update(Cycle cycle)
 {
     _drawIn.clock(cycle);
     _toShading.clock(cycle);

@@ -34,7 +34,7 @@ class Streamer : public sim::Box
     Streamer(sim::SignalBinder& binder, sim::StatisticManager& stats,
              const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

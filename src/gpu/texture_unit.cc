@@ -166,7 +166,7 @@ TextureUnit::finish(Cycle cycle)
 }
 
 void
-TextureUnit::clock(Cycle cycle)
+TextureUnit::update(Cycle cycle)
 {
     for (auto& rx : _reqIn)
         rx->clock(cycle);

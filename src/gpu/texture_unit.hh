@@ -32,7 +32,7 @@ class TextureUnit : public sim::Box
                 sim::StatisticManager& stats, const GpuConfig& config,
                 u32 unit, emu::GpuMemory& memory);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

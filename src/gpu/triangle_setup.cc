@@ -20,7 +20,7 @@ TriangleSetup::TriangleSetup(sim::SignalBinder& binder,
 }
 
 void
-TriangleSetup::clock(Cycle cycle)
+TriangleSetup::update(Cycle cycle)
 {
     _in.clock(cycle);
     _out.clock(cycle);

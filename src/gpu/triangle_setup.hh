@@ -24,7 +24,7 @@ class TriangleSetup : public sim::Box
                   sim::StatisticManager& stats,
                   const GpuConfig& config);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -376,7 +376,7 @@ ZStencilTest::sendHzUpdates(Cycle cycle)
 }
 
 void
-ZStencilTest::clock(Cycle cycle)
+ZStencilTest::update(Cycle cycle)
 {
     _earlyIn.clock(cycle);
     _lateIn.clock(cycle);

@@ -69,7 +69,7 @@ class ZStencilTest : public sim::Box
                  const GpuConfig& config, u32 unit,
                  emu::GpuMemory& memory);
 
-    void clock(Cycle cycle) override;
+    void update(Cycle cycle) override;
     bool empty() const override;
 
   private:

@@ -3,17 +3,33 @@
  * Box: base class for every simulated pipeline unit.
  *
  * A box abstracts a "large enough" piece of the pipeline (the
- * Clipper, the Fragment Generator, ...).  Each cycle the simulator
- * calls clock(); the box reads its input signals, updates local state
- * (registers and queues) and writes its output signals.  Boxes model
- * resource restrictions and control/data flow; signals model latency
- * and bandwidth.
+ * Clipper, the Fragment Generator, ...).  Boxes model resource
+ * restrictions and control/data flow; signals model latency and
+ * bandwidth.
+ *
+ * Each cycle a box goes through an explicit two-phase lifecycle:
+ *
+ *  - update(cycle)    (phase A): read input signals, advance local
+ *                     state (registers and queues) and *stage* output
+ *                     signal writes.  No other box observes these
+ *                     writes yet, so phase A has no ordering hazards
+ *                     between boxes and may run concurrently for all
+ *                     boxes of a clock domain.
+ *  - propagate(cycle) (phase B): publish the staged writes into the
+ *                     signals' delivery slots.  Each signal has a
+ *                     single writer box, so phase B is also free of
+ *                     cross-box hazards.
+ *
+ * The scheduler (see sim/scheduler.hh) runs phase A for every box of
+ * a domain, then phase B for every box.  clock() bundles both phases
+ * for single-box harnesses and tests.
  */
 
 #ifndef ATTILA_SIM_BOX_HH
 #define ATTILA_SIM_BOX_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/signal_binder.hh"
 #include "sim/statistics.hh"
@@ -43,8 +59,33 @@ class Box
 
     const std::string& name() const { return _name; }
 
-    /** Advance the box one cycle. */
-    virtual void clock(Cycle cycle) = 0;
+    /**
+     * Phase A: read inputs, advance internal state, stage output
+     * writes.  Must not touch state owned by another box.
+     */
+    virtual void update(Cycle cycle) = 0;
+
+    /**
+     * Phase B: publish the output writes staged during update().
+     * The default commits every output signal registered by this
+     * box; boxes with extra end-of-cycle bookkeeping may override
+     * (and must call the base).
+     */
+    virtual void
+    propagate(Cycle cycle)
+    {
+        (void)cycle;
+        for (Signal* signal : _outputSignals)
+            signal->commit();
+    }
+
+    /** Run both phases; for single-box harnesses and tests. */
+    void
+    clock(Cycle cycle)
+    {
+        update(cycle);
+        propagate(cycle);
+    }
 
     /**
      * True when the box holds no in-flight work.  Used by the
@@ -81,9 +122,15 @@ class Box
     StatisticManager& statistics() { return _stats; }
 
   private:
+    // The binder appends every signal this box writes, regardless of
+    // whether registration went through output() or a helper (links,
+    // memory ports) talking to the binder directly.
+    friend class SignalBinder;
+
     SignalBinder& _binder;
     StatisticManager& _stats;
     std::string _name;
+    std::vector<Signal*> _outputSignals;
 };
 
 } // namespace attila::sim

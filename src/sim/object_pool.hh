@@ -13,6 +13,7 @@
 #define ATTILA_SIM_OBJECT_POOL_HH
 
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -40,31 +41,57 @@ class ObjectPool
     {
         auto& st = *_state;
         T* raw = nullptr;
-        if (!st.free.empty()) {
-            raw = st.free.back();
-            st.free.pop_back();
-            ++st.recycled;
+        {
+            // An object acquired by one box may be released from
+            // another box's worker thread (e.g. credits travelling
+            // through signals), so the freelist is locked.
+            std::lock_guard<std::mutex> lock(st.mutex);
+            if (!st.free.empty()) {
+                raw = st.free.back();
+                st.free.pop_back();
+                ++st.recycled;
+            } else {
+                ++st.allocated;
+            }
+        }
+        if (raw) {
             // Re-run the constructor in place on recycled storage.
             raw->~T();
             new (raw) T(std::forward<Args>(args)...);
         } else {
             raw = static_cast<T*>(::operator new(sizeof(T)));
             new (raw) T(std::forward<Args>(args)...);
-            ++st.allocated;
         }
         // The deleter holds the state alive, so a release after the
         // pool object itself is gone still just parks the storage
         // (freed when the last outstanding object dies).
-        return std::shared_ptr<T>(
-            raw, [st = _state](T* p) { st->free.push_back(p); });
+        return std::shared_ptr<T>(raw, [st = _state](T* p) {
+            std::lock_guard<std::mutex> lock(st->mutex);
+            st->free.push_back(p);
+        });
     }
 
     /** Total number of raw allocations performed. */
-    u64 allocated() const { return _state->allocated; }
+    u64
+    allocated() const
+    {
+        std::lock_guard<std::mutex> lock(_state->mutex);
+        return _state->allocated;
+    }
     /** Number of acquisitions served from the freelist. */
-    u64 recycled() const { return _state->recycled; }
+    u64
+    recycled() const
+    {
+        std::lock_guard<std::mutex> lock(_state->mutex);
+        return _state->recycled;
+    }
     /** Number of objects currently sitting in the freelist. */
-    std::size_t freeCount() const { return _state->free.size(); }
+    std::size_t
+    freeCount() const
+    {
+        std::lock_guard<std::mutex> lock(_state->mutex);
+        return _state->free.size();
+    }
 
   private:
     struct State
@@ -77,6 +104,7 @@ class ObjectPool
             }
         }
 
+        mutable std::mutex mutex;
         std::vector<T*> free;
         u64 allocated = 0;
         u64 recycled = 0;

@@ -1,0 +1,194 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace attila::sim
+{
+
+/**
+ * Shared state between the simulator thread and the worker pool.
+ *
+ * Per cycle the pool runs two "jobs" (phase A, phase B).  A job is
+ * published by bumping the generation counter; workers spin briefly
+ * on it and fall back to a condition variable, which keeps the
+ * per-cycle barrier cheap when cores are available without burning a
+ * loaded machine.
+ */
+struct ParallelScheduler::Impl
+{
+    explicit Impl(u32 thread_count) : threads(thread_count)
+    {
+        workers.reserve(threads);
+        for (u32 w = 0; w < threads; ++w)
+            workers.emplace_back([this, w] { workerMain(w); });
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lock(wakeMutex);
+            stop.store(true, std::memory_order_relaxed);
+        }
+        wakeCv.notify_all();
+        for (std::thread& t : workers)
+            t.join();
+    }
+
+    void
+    workerMain(u32 index)
+    {
+        u64 seen = 0;
+        for (;;) {
+            // Spin a little before sleeping: the inter-phase gap is
+            // normally far shorter than a futex round trip.
+            bool woke = false;
+            for (u32 spin = 0; spin < 4096; ++spin) {
+                if (generation.load(std::memory_order_acquire) !=
+                        seen ||
+                    stop.load(std::memory_order_relaxed)) {
+                    woke = true;
+                    break;
+                }
+                if ((spin & 63) == 63)
+                    std::this_thread::yield();
+            }
+            if (!woke) {
+                std::unique_lock<std::mutex> lock(wakeMutex);
+                wakeCv.wait(lock, [&] {
+                    return generation.load(
+                               std::memory_order_acquire) != seen ||
+                           stop.load(std::memory_order_relaxed);
+                });
+            }
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            seen = generation.load(std::memory_order_acquire);
+
+            const auto& boxes = domain->boxes();
+            const Cycle c = cycle;
+            const bool updatePhase = phase == 0;
+            for (std::size_t i = index; i < boxes.size();
+                 i += threads) {
+                try {
+                    if (updatePhase)
+                        boxes[i]->update(c);
+                    else
+                        boxes[i]->propagate(c);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    errors.emplace_back(i, std::current_exception());
+                    break;
+                }
+            }
+
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                doneCv.notify_one();
+            }
+        }
+    }
+
+    /** Run one phase over the current domain and wait for the pool. */
+    void
+    runPhase(int which)
+    {
+        phase = which;
+        remaining.store(threads, std::memory_order_relaxed);
+        generation.fetch_add(1, std::memory_order_release);
+        wakeCv.notify_all();
+
+        for (u32 spin = 0; spin < 4096; ++spin) {
+            if (remaining.load(std::memory_order_acquire) == 0)
+                return;
+            if ((spin & 63) == 63)
+                std::this_thread::yield();
+        }
+        std::unique_lock<std::mutex> lock(doneMutex);
+        doneCv.wait(lock, [&] {
+            return remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    /** Rethrow the failure of the lowest-indexed box, if any. */
+    void
+    rethrowFirstError()
+    {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (errors.empty())
+            return;
+        auto it = std::min_element(
+            errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) {
+                return a.first < b.first;
+            });
+        std::exception_ptr err = it->second;
+        errors.clear();
+        std::rethrow_exception(err);
+    }
+
+    u32 threads;
+    std::vector<std::thread> workers;
+
+    // Job descriptor; written by the simulator thread before the
+    // generation release-store, read by workers after the acquire.
+    ClockDomain* domain = nullptr;
+    Cycle cycle = 0;
+    int phase = 0;
+
+    std::atomic<u64> generation{0};
+    std::atomic<u32> remaining{0};
+    std::atomic<bool> stop{false};
+
+    std::mutex wakeMutex;
+    std::condition_variable wakeCv;
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+
+    std::mutex errorMutex;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+};
+
+ParallelScheduler::ParallelScheduler(u32 threads)
+    : _threads(threads != 0
+                   ? threads
+                   : std::max(1u,
+                              std::thread::hardware_concurrency()))
+{
+    _impl = std::make_unique<Impl>(_threads);
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+void
+ParallelScheduler::clockDomain(ClockDomain& domain, Cycle cycle)
+{
+    _impl->domain = &domain;
+    _impl->cycle = cycle;
+    _impl->runPhase(0);
+    _impl->rethrowFirstError();
+    _impl->runPhase(1);
+    _impl->rethrowFirstError();
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string& kind, u32 threads)
+{
+    if (kind == "serial")
+        return std::make_unique<SerialScheduler>();
+    if (kind == "parallel")
+        return std::make_unique<ParallelScheduler>(threads);
+    fatal("unknown scheduler kind '", kind,
+          "' (expected 'serial' or 'parallel')");
+}
+
+} // namespace attila::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scheduler: pluggable engine that clocks the boxes of a domain.
+ *
+ * The two-phase box lifecycle (Box::update staging writes, then
+ * Box::propagate publishing them) guarantees that boxes of one cycle
+ * never observe each other's same-cycle effects, so the scheduler is
+ * free to run each phase in any order — or concurrently.  Two
+ * backends exist:
+ *
+ *  - SerialScheduler: phase A over all boxes, then phase B; the
+ *    reference engine, behaviour-identical to the classic single
+ *    clock loop.
+ *  - ParallelScheduler: a persistent worker pool; boxes are
+ *    partitioned round-robin across threads and a barrier separates
+ *    the phases.  The static partition and the per-signal
+ *    single-writer rule make results bit-identical to the serial
+ *    engine.
+ *
+ * A SimError raised inside a box (signal bandwidth/data-loss checks)
+ * is rethrown on the simulator thread; when several boxes fail in
+ * the same phase the lowest-indexed box wins, matching the serial
+ * engine's first-failure semantics.
+ */
+
+#ifndef ATTILA_SIM_SCHEDULER_HH
+#define ATTILA_SIM_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/clock_domain.hh"
+#include "sim/types.hh"
+
+namespace attila::sim
+{
+
+/** Engine that advances a clock domain by one cycle. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual const char* name() const = 0;
+
+    /** Worker threads used (1 for the serial engine). */
+    virtual u32 threadCount() const { return 1; }
+
+    /**
+     * Run one cycle of @p domain at domain-local cycle @p cycle:
+     * phase A (update) for every box, then phase B (propagate).
+     */
+    virtual void clockDomain(ClockDomain& domain, Cycle cycle) = 0;
+};
+
+/** Reference single-threaded engine. */
+class SerialScheduler final : public Scheduler
+{
+  public:
+    const char* name() const override { return "serial"; }
+
+    void
+    clockDomain(ClockDomain& domain, Cycle cycle) override
+    {
+        const auto& boxes = domain.boxes();
+        for (Box* box : boxes)
+            box->update(cycle);
+        for (Box* box : boxes)
+            box->propagate(cycle);
+    }
+};
+
+/**
+ * Persistent worker-pool engine: boxes are partitioned round-robin
+ * across threads; a barrier separates the update and propagate
+ * phases.  Deterministic: same partition, same per-signal write
+ * order (one writer per signal), same statistics (one owner per
+ * counter).
+ */
+class ParallelScheduler final : public Scheduler
+{
+  public:
+    /** @param threads Worker threads; 0 picks hardware_concurrency. */
+    explicit ParallelScheduler(u32 threads = 0);
+    ~ParallelScheduler() override;
+
+    const char* name() const override { return "parallel"; }
+    u32 threadCount() const override { return _threads; }
+
+    void clockDomain(ClockDomain& domain, Cycle cycle) override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+    u32 _threads;
+};
+
+/**
+ * Build a scheduler by name: "serial" or "parallel".  Throws
+ * FatalError for unknown kinds.
+ */
+std::unique_ptr<Scheduler> makeScheduler(const std::string& kind,
+                                         u32 threads = 0);
+
+} // namespace attila::sim
+
+#endif // ATTILA_SIM_SCHEDULER_HH

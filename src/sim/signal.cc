@@ -41,6 +41,31 @@ Signal::write(Cycle cycle, DynamicObjectPtr obj)
         panic("signal '", _name, "': writing null object at cycle ",
               cycle);
 
+    if (_buffered) {
+        // Bandwidth is a per-cycle property of the wire, so it is
+        // checked at write time even though publication is deferred.
+        // All staged writes belong to the current cycle (commit runs
+        // every cycle), but count per-cycle anyway so direct harness
+        // use stays well-defined.
+        u32 sameCycle = 0;
+        for (const PendingWrite& p : _pending) {
+            if (p.cycle == cycle)
+                ++sameCycle;
+        }
+        if (sameCycle >= _bandwidth) {
+            panic("signal '", _name, "': bandwidth exceeded at cycle ",
+                  cycle, " (bandwidth ", _bandwidth, ")");
+        }
+        _pending.push_back({cycle, std::move(obj)});
+        return;
+    }
+
+    publish(cycle, std::move(obj));
+}
+
+void
+Signal::publish(Cycle cycle, DynamicObjectPtr obj)
+{
     const Cycle arrival = cycle + _latency;
     Slot& slot = slotFor(arrival);
 
@@ -77,9 +102,35 @@ Signal::write(Cycle cycle, DynamicObjectPtr obj)
         _writeStat->inc();
 }
 
+void
+Signal::commit()
+{
+    if (_pending.empty())
+        return;
+    for (PendingWrite& p : _pending)
+        publish(p.cycle, std::move(p.obj));
+    _pending.clear();
+}
+
+void
+Signal::setBuffered(bool buffered)
+{
+    if (!buffered)
+        commit();
+    _buffered = buffered;
+}
+
 bool
 Signal::canWrite(Cycle cycle) const
 {
+    if (_buffered) {
+        u32 sameCycle = 0;
+        for (const PendingWrite& p : _pending) {
+            if (p.cycle == cycle)
+                ++sameCycle;
+        }
+        return sameCycle < _bandwidth;
+    }
     const Cycle arrival = cycle + _latency;
     const Slot& slot = slotFor(arrival);
     if (slot.objects.empty() || slot.arrival != arrival)
@@ -112,6 +163,15 @@ Signal::pendingAt(Cycle cycle) const
     if (slot.objects.empty() || slot.arrival != cycle)
         return 0;
     return static_cast<u32>(slot.objects.size() - slot.readIndex);
+}
+
+u64
+Signal::inFlight() const
+{
+    u64 count = _pending.size();
+    for (const Slot& slot : _slots)
+        count += slot.objects.size() - slot.readIndex;
+    return count;
 }
 
 } // namespace attila::sim

@@ -10,6 +10,16 @@
  * reader's cycle without being read, terminates the simulation with a
  * diagnostic (SimError).  This is what keeps timing bugs loud instead
  * of silent.
+ *
+ * Two-phase (buffered) mode: when a signal is owned by a Simulator,
+ * writes issued during the update phase are staged in a pending
+ * buffer and only published into the delivery slots by commit(),
+ * which the writer box runs in its propagate phase.  Because every
+ * latency is >= 1 this does not change the modelled timing, but it
+ * removes every same-cycle ordering hazard between boxes, which is
+ * what makes parallel clocking safe.  Standalone signals (unit
+ * tests) default to immediate mode, where write() publishes
+ * directly.
  */
 
 #ifndef ATTILA_SIM_SIGNAL_HH
@@ -49,7 +59,9 @@ class Signal
      * Write an object into the signal at @p cycle; it becomes
      * readable at cycle + latency.  Throws SimError when the cycle's
      * bandwidth is exceeded or when undelivered data would be
-     * overwritten.
+     * overwritten.  In buffered mode the object is staged and only
+     * published by commit(); the bandwidth check still fires here,
+     * the data-loss check fires at commit time.
      */
     void write(Cycle cycle, DynamicObjectPtr obj);
 
@@ -67,6 +79,33 @@ class Signal
 
     /** Number of unread objects arriving at @p cycle. */
     u32 pendingAt(Cycle cycle) const;
+
+    /**
+     * Enable or disable two-phase buffered writes.  Disabling
+     * publishes any still-staged writes first.
+     */
+    void setBuffered(bool buffered);
+    bool buffered() const { return _buffered; }
+
+    /**
+     * Publish all writes staged since the last commit.  Called by the
+     * writer box's propagate phase; only the writer's thread may call
+     * this.  Throws SimError on the data-loss check.
+     */
+    void commit();
+
+    /** Writes staged but not yet committed. */
+    u32 pendingWrites() const
+    {
+        return static_cast<u32>(_pending.size());
+    }
+
+    /**
+     * Objects somewhere inside the wire: committed but unread, plus
+     * staged writes.  Used by the drain detector — a model is only
+     * quiescent when every signal is empty.
+     */
+    u64 inFlight() const;
 
     /** Attach a trace writer; every write is then recorded. */
     void setTracer(SignalTraceWriter* tracer) { _tracer = tracer; }
@@ -92,13 +131,24 @@ class Signal
         }
     };
 
+    struct PendingWrite
+    {
+        Cycle cycle = 0;
+        DynamicObjectPtr obj;
+    };
+
     Slot& slotFor(Cycle arrival);
     const Slot& slotFor(Cycle arrival) const;
+
+    /** Publish one object (the pre-two-phase write body). */
+    void publish(Cycle cycle, DynamicObjectPtr obj);
 
     std::string _name;
     u32 _bandwidth;
     u32 _latency;
+    bool _buffered = false;
     std::vector<Slot> _slots;
+    std::vector<PendingWrite> _pending;
     SignalTraceWriter* _tracer = nullptr;
     Statistic* _writeStat = nullptr;
     u64 _totalWrites = 0;

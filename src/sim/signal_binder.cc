@@ -25,6 +25,7 @@ SignalBinder::registerSignal(Box* box, const std::string& name,
             entry.signal->setWriteStat(
                 &_stats->get("signal." + name, "writes"));
         }
+        entry.signal->setBuffered(_buffered);
         it = _entries.emplace(name, std::move(entry)).first;
     } else {
         Signal* sig = it->second.signal.get();
@@ -46,6 +47,7 @@ SignalBinder::registerSignal(Box* box, const std::string& name,
                   "' registered as writer");
         }
         entry.writer = box;
+        box->_outputSignals.push_back(entry.signal.get());
     } else {
         if (entry.reader) {
             fatal("signal '", name, "': both '",
@@ -76,6 +78,32 @@ SignalBinder::checkConnectivity() const
     }
     if (!dangling.empty())
         fatal("unconnected signals:", dangling);
+}
+
+void
+SignalBinder::setBuffered(bool buffered)
+{
+    _buffered = buffered;
+    for (auto& [name, entry] : _entries)
+        entry.signal->setBuffered(buffered);
+}
+
+u64
+SignalBinder::totalInFlight() const
+{
+    u64 count = 0;
+    for (const auto& [name, entry] : _entries)
+        count += entry.signal->inFlight();
+    return count;
+}
+
+u64
+SignalBinder::totalWrites() const
+{
+    u64 count = 0;
+    for (const auto& [name, entry] : _entries)
+        count += entry.signal->totalWrites();
+    return count;
 }
 
 void

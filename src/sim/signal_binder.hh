@@ -52,6 +52,20 @@ class SignalBinder
     Signal* find(const std::string& name) const;
 
     /**
+     * Switch every signal (current and future) into two-phase
+     * buffered-write mode; see Signal::setBuffered().  Enabled by the
+     * Simulator, off for standalone binders in unit tests.
+     */
+    void setBuffered(bool buffered);
+    bool buffered() const { return _buffered; }
+
+    /** Sum of Signal::inFlight() over every signal. */
+    u64 totalInFlight() const;
+
+    /** Sum of Signal::totalWrites() over every signal. */
+    u64 totalWrites() const;
+
+    /**
      * Verify that every registered signal has both a writer and a
      * reader; throws FatalError listing the dangling ends otherwise.
      */
@@ -84,6 +98,7 @@ class SignalBinder
     std::map<std::string, Entry> _entries;
     SignalTraceWriter* _tracer = nullptr;
     StatisticManager* _stats = nullptr;
+    bool _buffered = false;
 };
 
 } // namespace attila::sim

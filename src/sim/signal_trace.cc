@@ -79,6 +79,7 @@ void
 SignalTraceWriter::record(Cycle cycle, const std::string& signal_name,
                           const DynamicObject& obj)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _out << cycle << '|' << escapeField(signal_name) << '|'
          << obj.id() << '|' << obj.trailString() << '|'
          << obj.color() << '|' << escapeField(obj.info()) << '\n';
@@ -88,6 +89,7 @@ SignalTraceWriter::record(Cycle cycle, const std::string& signal_name,
 void
 SignalTraceWriter::flush()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _out.flush();
 }
 

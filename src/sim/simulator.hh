@@ -2,11 +2,18 @@
  * @file
  * Simulator: the clock loop driving boxes and signals.
  *
- * The simulator owns the signal binder and statistic manager, keeps
- * the list of boxes (owned elsewhere, typically by the Gpu), and
- * advances the whole model one cycle at a time.  Because every
- * inter-box signal has latency >= 1, the order in which boxes are
- * clocked within a cycle does not affect the modelled behaviour.
+ * The simulator owns the signal binder, the statistic manager, the
+ * clock domains grouping the boxes, and the scheduler that advances
+ * them.  Because every inter-box signal has latency >= 1 and boxes
+ * follow the two-phase update/propagate lifecycle, the order in
+ * which boxes are clocked within a cycle does not affect the
+ * modelled behaviour — which is what lets the scheduler clock them
+ * serially or across a worker pool with bit-identical results.
+ *
+ * Each master tick advances every clock domain whose divider
+ * matches; statistics window bookkeeping runs after phase B on the
+ * simulator thread, so counters are only ever touched by one thread
+ * at a time.
  */
 
 #ifndef ATTILA_SIM_SIMULATOR_HH
@@ -17,6 +24,8 @@
 #include <vector>
 
 #include "sim/box.hh"
+#include "sim/clock_domain.hh"
+#include "sim/scheduler.hh"
 #include "sim/signal_binder.hh"
 #include "sim/signal_trace.hh"
 #include "sim/statistics.hh"
@@ -28,7 +37,13 @@ namespace attila::sim
 class Simulator
 {
   public:
-    Simulator() = default;
+    Simulator()
+        : _scheduler(std::make_unique<SerialScheduler>())
+    {
+        // Simulator-driven models always use the two-phase write
+        // protocol; standalone binders (unit tests) stay immediate.
+        _binder.setBuffered(true);
+    }
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -36,12 +51,57 @@ class Simulator
     SignalBinder& binder() { return _binder; }
     StatisticManager& stats() { return _stats; }
 
-    /** Register a box to be clocked each cycle (not owned). */
+    /**
+     * Find or create the clock domain @p name.  The divider is fixed
+     * at creation; re-requesting an existing domain with a different
+     * divider is a configuration error.
+     */
+    ClockDomain&
+    domain(const std::string& name, u32 divider = 1)
+    {
+        for (auto& d : _domains) {
+            if (d->name() == name) {
+                if (d->divider() != divider)
+                    fatal("clock domain '", name,
+                          "': divider mismatch (", d->divider(),
+                          " vs ", divider, ")");
+                return *d;
+            }
+        }
+        _domains.push_back(
+            std::make_unique<ClockDomain>(name, divider));
+        return *_domains.back();
+    }
+
+    const std::vector<std::unique_ptr<ClockDomain>>&
+    domains() const
+    {
+        return _domains;
+    }
+
+    /**
+     * Register a box to be clocked each cycle (not owned); shorthand
+     * for adding to the master-rate "default" domain.
+     */
     void
     addBox(Box* box)
     {
-        _boxes.push_back(box);
+        domain("default").addBox(box);
     }
+
+    /**
+     * Install the engine that clocks the domains.  Defaults to
+     * SerialScheduler.
+     */
+    void
+    setScheduler(std::unique_ptr<Scheduler> scheduler)
+    {
+        if (!scheduler)
+            fatal("setScheduler: null scheduler");
+        _scheduler = std::move(scheduler);
+    }
+
+    Scheduler& scheduler() { return *_scheduler; }
 
     /** Enable signal tracing into @p path. */
     void
@@ -53,19 +113,26 @@ class Simulator
 
     SignalTraceWriter* tracer() { return _tracer.get(); }
 
-    Cycle cycle() const { return _cycle; }
+    /** Master ticks elapsed (the rate of divider-1 domains). */
+    Cycle cycle() const { return _tick; }
 
-    /** Advance the whole model one cycle. */
+    /** Advance the whole model one master tick. */
     void
     step()
     {
-        for (Box* box : _boxes)
-            box->clock(_cycle);
-        ++_cycle;
-        _stats.cycle(_cycle);
+        for (auto& d : _domains) {
+            if (d->ticksAt(_tick))
+                _scheduler->clockDomain(*d, d->cycle());
+        }
+        for (auto& d : _domains) {
+            if (d->ticksAt(_tick))
+                d->advance();
+        }
+        ++_tick;
+        _stats.cycle(_tick);
     }
 
-    /** Run for @p cycles cycles. */
+    /** Run for @p cycles master ticks. */
     void
     run(u64 cycles)
     {
@@ -77,19 +144,31 @@ class Simulator
     bool
     allEmpty() const
     {
-        for (const Box* box : _boxes) {
-            if (!box->empty())
+        for (const auto& d : _domains) {
+            if (!d->allEmpty())
                 return false;
         }
         return true;
     }
 
+    /**
+     * True when every box is empty *and* no signal holds in-flight
+     * objects: the model is fully drained.  O(boxes + signals); poll
+     * sparingly.
+     */
+    bool
+    quiescent() const
+    {
+        return allEmpty() && _binder.totalInFlight() == 0;
+    }
+
   private:
     SignalBinder _binder;
     StatisticManager _stats;
-    std::vector<Box*> _boxes;
+    std::vector<std::unique_ptr<ClockDomain>> _domains;
+    std::unique_ptr<Scheduler> _scheduler;
     std::unique_ptr<SignalTraceWriter> _tracer;
-    Cycle _cycle = 0;
+    Cycle _tick = 0;
 };
 
 } // namespace attila::sim

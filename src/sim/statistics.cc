@@ -12,6 +12,7 @@ StatisticManager::get(const std::string& box_name,
                       const std::string& stat_name)
 {
     const std::string full = box_name + "." + stat_name;
+    std::lock_guard<std::mutex> lock(_registry);
     auto it = _stats.find(full);
     if (it == _stats.end()) {
         auto stat = std::make_unique<Statistic>(full);

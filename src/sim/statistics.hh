@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -64,7 +65,16 @@ class Statistic
     std::vector<u64> _samples;
 };
 
-/** Name server that registers, samples and dumps statistics. */
+/**
+ * Name server that registers, samples and dumps statistics.
+ *
+ * Threading contract under the parallel scheduler: registration
+ * (get()) is mutex-protected and may run from any thread; each
+ * Statistic is incremented only by the box that registered it (one
+ * owner per counter, signal write counters belong to the signal's
+ * single writer), and window closing runs on the simulator thread
+ * between cycles, when no worker is inside a phase.
+ */
 class StatisticManager
 {
   public:
@@ -112,6 +122,7 @@ class StatisticManager
 
   private:
     std::map<std::string, std::unique_ptr<Statistic>> _stats;
+    mutable std::mutex _registry;
     Cycle _window = 0;
     std::size_t _sampleCount = 0;
 };

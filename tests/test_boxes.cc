@@ -29,7 +29,7 @@ class HostBox : public sim::Box
     {}
 
     void
-    clock(Cycle cycle) override
+    update(Cycle cycle) override
     {
         if (tick)
             tick(cycle);

@@ -30,7 +30,7 @@ class ClientBox : public sim::Box
     }
 
     void
-    clock(Cycle cycle) override
+    update(Cycle cycle) override
     {
         mem.clock(cycle);
         if (tick)

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Scheduler determinism tests: the parallel engine must be
+ * bit-identical to the serial reference on real workloads — same
+ * final cycle count, same statistics CSV (windows and totals), same
+ * framebuffer output.  This is the executable form of the latency
+ * >= 1 argument: clocking order within a cycle cannot matter.
+ */
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "sim/scheduler.hh"
+#include "workloads/shadows.hh"
+#include "workloads/terrain.hh"
+
+using namespace attila;
+using namespace attila::workloads;
+
+namespace
+{
+
+gpu::CommandList
+buildCommands(Workload& workload, const WorkloadParams& params)
+{
+    gl::Context ctx(params.width, params.height, 32u << 20);
+    workload.setup(ctx);
+    for (u32 f = 0; f < params.frames; ++f)
+        workload.renderFrame(ctx, f);
+    return ctx.takeCommands();
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams params;
+    params.width = 96;
+    params.height = 96;
+    params.frames = 1;
+    params.textureSize = 32;
+    params.detail = 4;
+    return params;
+}
+
+/** FNV-1a over every frame's pixels. */
+u64
+framebufferHash(const gpu::Gpu& gpu)
+{
+    u64 h = 1469598103934665603ull;
+    for (const gpu::FrameImage& frame : gpu.frames()) {
+        for (u32 px : frame.pixels) {
+            h ^= px;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+/** The observables that must match bit for bit across schedulers. */
+struct RunFingerprint
+{
+    u64 cycles = 0;
+    u64 fbHash = 0;
+    std::size_t frames = 0;
+    std::string windowsCsv;
+    std::string totalsCsv;
+};
+
+RunFingerprint
+runWith(const gpu::CommandList& list, gpu::SchedulerKind kind,
+        u32 threads)
+{
+    // The test pins its own engines; neutralize the environment
+    // overrides a CI job may have exported.
+    unsetenv("ATTILA_SCHEDULER");
+    unsetenv("ATTILA_SCHED_THREADS");
+
+    gpu::GpuConfig config = gpu::GpuConfig::baseline();
+    config.memorySize = 32u << 20;
+    config.scheduler = kind;
+    config.schedulerThreads = threads;
+    // A small window so several windows close during the run and the
+    // CSV actually exercises the sampling path.
+    config.statsWindow = 1000;
+
+    gpu::Gpu gpu(config);
+    gpu.submit(list);
+    EXPECT_TRUE(gpu.runUntilIdle(200'000'000))
+        << "pipeline did not drain";
+
+    RunFingerprint fp;
+    fp.cycles = gpu.cycle();
+    fp.fbHash = framebufferHash(gpu);
+    fp.frames = gpu.frames().size();
+    std::ostringstream windows, totals;
+    gpu.stats().writeCsv(windows);
+    gpu.stats().writeTotalsCsv(totals);
+    fp.windowsCsv = windows.str();
+    fp.totalsCsv = totals.str();
+    return fp;
+}
+
+void
+expectIdentical(const RunFingerprint& serial,
+                const RunFingerprint& parallel, const char* label)
+{
+    EXPECT_EQ(serial.cycles, parallel.cycles) << label;
+    EXPECT_EQ(serial.frames, parallel.frames) << label;
+    EXPECT_EQ(serial.fbHash, parallel.fbHash) << label;
+    EXPECT_EQ(serial.totalsCsv, parallel.totalsCsv) << label;
+    EXPECT_EQ(serial.windowsCsv, parallel.windowsCsv) << label;
+}
+
+void
+checkWorkload(Workload& workload, const WorkloadParams& params)
+{
+    const gpu::CommandList list = buildCommands(workload, params);
+    const RunFingerprint serial =
+        runWith(list, gpu::SchedulerKind::Serial, 0);
+    ASSERT_GT(serial.cycles, 0u);
+    ASSERT_EQ(serial.frames, params.frames);
+
+    const RunFingerprint par2 =
+        runWith(list, gpu::SchedulerKind::Parallel, 2);
+    expectIdentical(serial, par2, "parallel x2");
+
+    const RunFingerprint par4 =
+        runWith(list, gpu::SchedulerKind::Parallel, 4);
+    expectIdentical(serial, par4, "parallel x4");
+}
+
+} // anonymous namespace
+
+TEST(SchedulerDeterminism, TerrainSerialVsParallel)
+{
+    WorkloadParams params = smallParams();
+    TerrainWorkload workload(params);
+    checkWorkload(workload, params);
+}
+
+TEST(SchedulerDeterminism, ShadowsSerialVsParallel)
+{
+    WorkloadParams params = smallParams();
+    ShadowsWorkload workload(params);
+    checkWorkload(workload, params);
+}
+
+TEST(SchedulerDeterminism, ParallelRunToRunStable)
+{
+    // Two parallel runs of the same stream must agree with each
+    // other too (catches nondeterministic partitioning or commit
+    // ordering inside one engine).
+    WorkloadParams params = smallParams();
+    TerrainWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+    const RunFingerprint a =
+        runWith(list, gpu::SchedulerKind::Parallel, 4);
+    const RunFingerprint b =
+        runWith(list, gpu::SchedulerKind::Parallel, 4);
+    expectIdentical(a, b, "run-to-run");
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Drain-detection regression tests.
+ *
+ * runUntilIdle() polls full quiescence (every box empty, no object
+ * inside any signal) only every drainPollInterval cycles once the
+ * command stream is exhausted.  The sparse poll must terminate, and
+ * must land within one poll interval of the dense (interval 1)
+ * answer.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "workloads/terrain.hh"
+
+using namespace attila;
+using namespace attila::workloads;
+
+namespace
+{
+
+gpu::CommandList
+buildCommands(Workload& workload, const WorkloadParams& params)
+{
+    gl::Context ctx(params.width, params.height, 32u << 20);
+    workload.setup(ctx);
+    for (u32 f = 0; f < params.frames; ++f)
+        workload.renderFrame(ctx, f);
+    return ctx.takeCommands();
+}
+
+u64
+drainCycle(const gpu::CommandList& list, u32 poll_interval)
+{
+    unsetenv("ATTILA_SCHEDULER");
+    unsetenv("ATTILA_SCHED_THREADS");
+    gpu::GpuConfig config = gpu::GpuConfig::baseline();
+    config.memorySize = 32u << 20;
+    config.drainPollInterval = poll_interval;
+    gpu::Gpu gpu(config);
+    gpu.submit(list);
+    EXPECT_TRUE(gpu.runUntilIdle(200'000'000))
+        << "pipeline did not drain (poll interval " << poll_interval
+        << ")";
+    EXPECT_EQ(gpu.frames().size(), 1u);
+    return gpu.cycle();
+}
+
+} // anonymous namespace
+
+TEST(DrainDetection, SparsePollMatchesDensePoll)
+{
+    WorkloadParams params;
+    params.width = 96;
+    params.height = 96;
+    params.frames = 1;
+    params.textureSize = 32;
+    params.detail = 4;
+    TerrainWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+
+    const u64 dense = drainCycle(list, 1);
+    const u64 sparse = drainCycle(list, 64);
+
+    // The dense poll stops at the first quiescent cycle; the sparse
+    // poll may overshoot by at most one interval.
+    EXPECT_GE(sparse, dense);
+    EXPECT_LE(sparse - dense, 64u);
+}
+
+TEST(DrainDetection, QuiescenceSeesInFlightSignalData)
+{
+    // allEmpty() alone cannot see objects inside the wires; the
+    // quiescence check must.  A long-latency signal keeps the model
+    // non-quiescent while both boxes report empty.
+    sim::Simulator sim;
+
+    class Producer : public sim::Box
+    {
+      public:
+        Producer(sim::SignalBinder& binder,
+                 sim::StatisticManager& stats)
+            : Box(binder, stats, "producer")
+        {
+            _out = output("wire", 1, 20);
+        }
+        void
+        update(Cycle cycle) override
+        {
+            if (!sent) {
+                _out->write(cycle, std::make_shared<sim::DynamicObject>());
+                sent = true;
+            }
+        }
+        bool empty() const override { return sent; }
+        sim::Signal* _out = nullptr;
+        bool sent = false;
+    };
+
+    class Consumer : public sim::Box
+    {
+      public:
+        Consumer(sim::SignalBinder& binder,
+                 sim::StatisticManager& stats)
+            : Box(binder, stats, "consumer")
+        {
+            _in = input("wire", 1, 20);
+        }
+        void
+        update(Cycle cycle) override
+        {
+            if (_in->read(cycle))
+                ++received;
+        }
+        sim::Signal* _in = nullptr;
+        u32 received = 0;
+    };
+
+    Producer producer(sim.binder(), sim.stats());
+    Consumer consumer(sim.binder(), sim.stats());
+    sim.addBox(&producer);
+    sim.addBox(&consumer);
+
+    sim.step();
+    // Both boxes idle, but the object still travels the wire.
+    EXPECT_TRUE(sim.allEmpty());
+    EXPECT_FALSE(sim.quiescent());
+
+    sim.run(25);
+    EXPECT_EQ(consumer.received, 1u);
+    EXPECT_TRUE(sim.quiescent());
+}

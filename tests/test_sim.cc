@@ -37,7 +37,7 @@ class NullBox : public Box
         : Box(binder, stats, std::move(name))
     {}
 
-    void clock(Cycle) override {}
+    void update(Cycle) override {}
 
     Signal*
     addInput(const std::string& name, u32 bw, u32 lat)
@@ -265,6 +265,288 @@ TEST(DynamicObject, CookieTrail)
                   std::to_string(child.id()));
 }
 
+// ===== Two-phase write buffering ===================================
+
+TEST(SignalBuffered, StagedWritesInvisibleUntilCommit)
+{
+    Signal sig("s", 1, 1);
+    sig.setBuffered(true);
+    sig.write(0, makeObj("x"));
+    EXPECT_EQ(sig.pendingWrites(), 1u);
+    // Not yet published: the reader must not see it.
+    EXPECT_EQ(sig.read(1), nullptr);
+    sig.commit();
+    EXPECT_EQ(sig.pendingWrites(), 0u);
+    auto got = sig.read(1);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->info(), "x");
+}
+
+TEST(SignalBuffered, DisablingBufferingFlushesPending)
+{
+    Signal sig("s", 1, 1);
+    sig.setBuffered(true);
+    sig.write(0, makeObj());
+    sig.setBuffered(false);
+    EXPECT_EQ(sig.pendingWrites(), 0u);
+    EXPECT_NE(sig.read(1), nullptr);
+}
+
+TEST(SignalBuffered, CanWriteCountsPendingWrites)
+{
+    Signal sig("s", 2, 1);
+    sig.setBuffered(true);
+    EXPECT_TRUE(sig.canWrite(0));
+    sig.write(0, makeObj());
+    EXPECT_TRUE(sig.canWrite(0));
+    sig.write(0, makeObj());
+    EXPECT_FALSE(sig.canWrite(0));
+}
+
+/** The exact diagnostic text from a failing write/commit. */
+template <typename Fn>
+std::string
+simErrorMessage(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const SimError& e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected SimError";
+    return {};
+}
+
+TEST(SignalBuffered, BandwidthDiagnosticMatchesImmediateMode)
+{
+    const std::string immediate = simErrorMessage([] {
+        Signal sig("s", 2, 1);
+        sig.write(7, makeObj());
+        sig.write(7, makeObj());
+        sig.write(7, makeObj());
+    });
+    const std::string buffered = simErrorMessage([] {
+        Signal sig("s", 2, 1);
+        sig.setBuffered(true);
+        sig.write(7, makeObj());
+        sig.write(7, makeObj());
+        sig.write(7, makeObj());
+    });
+    EXPECT_FALSE(immediate.empty());
+    EXPECT_EQ(immediate, buffered);
+}
+
+TEST(SignalBuffered, DataLossDiagnosticMatchesImmediateMode)
+{
+    const std::string immediate = simErrorMessage([] {
+        Signal sig("s", 1, 2);
+        sig.write(0, makeObj());
+        sig.write(3, makeObj()); // Same slot, never read.
+    });
+    const std::string buffered = simErrorMessage([] {
+        Signal sig("s", 1, 2);
+        sig.setBuffered(true);
+        sig.write(0, makeObj());
+        sig.commit();
+        sig.write(3, makeObj());
+        sig.commit(); // Loss detected when the write publishes.
+    });
+    EXPECT_FALSE(immediate.empty());
+    EXPECT_EQ(immediate, buffered);
+}
+
+TEST(SignalBuffered, InFlightCountsSlotsAndPending)
+{
+    Signal sig("s", 1, 4);
+    sig.setBuffered(true);
+    EXPECT_EQ(sig.inFlight(), 0u);
+    sig.write(0, makeObj());
+    EXPECT_EQ(sig.inFlight(), 1u); // Staged.
+    sig.commit();
+    EXPECT_EQ(sig.inFlight(), 1u); // Travelling.
+    ASSERT_NE(sig.read(4), nullptr);
+    EXPECT_EQ(sig.inFlight(), 0u);
+}
+
+// ===== Clock domains and schedulers ================================
+
+namespace
+{
+
+/** Emits one object per cycle for `count` cycles. */
+class PulseBox : public Box
+{
+  public:
+    PulseBox(SignalBinder& binder, StatisticManager& stats,
+             std::string name, std::string wire, u32 count)
+        : Box(binder, stats, std::move(name)), _count(count)
+    {
+        _out = output(std::move(wire), 1, 1);
+    }
+
+    void
+    update(Cycle cycle) override
+    {
+        if (_sent < _count) {
+            _out->write(cycle, makeObj());
+            ++_sent;
+            stat("sent").inc();
+        }
+    }
+
+    bool empty() const override { return _sent >= _count; }
+
+  private:
+    Signal* _out;
+    u32 _count;
+    u32 _sent = 0;
+};
+
+/** Counts objects received on its input wire. */
+class SinkBox : public Box
+{
+  public:
+    SinkBox(SignalBinder& binder, StatisticManager& stats,
+            std::string name, std::string wire)
+        : Box(binder, stats, std::move(name))
+    {
+        _in = input(std::move(wire), 1, 1);
+    }
+
+    void
+    update(Cycle cycle) override
+    {
+        if (_in->read(cycle)) {
+            ++received;
+            stat("received").inc();
+        }
+    }
+
+    Signal* _in;
+    u32 received = 0;
+};
+
+/** Box whose update panics at a given cycle. */
+class FaultyBox : public Box
+{
+  public:
+    FaultyBox(SignalBinder& binder, StatisticManager& stats,
+              std::string name, Cycle fault_cycle)
+        : Box(binder, stats, std::move(name)), _fault(fault_cycle)
+    {}
+
+    void
+    update(Cycle cycle) override
+    {
+        if (cycle == _fault)
+            panic("box '", name(), "': injected fault at cycle ",
+                  cycle);
+    }
+
+  private:
+    Cycle _fault;
+};
+
+/** Run a N-producer/N-sink mesh under `scheduler`, return the stats
+ * totals CSV and received counts. */
+std::string
+runMesh(std::unique_ptr<Scheduler> scheduler, u64 cycles)
+{
+    Simulator sim;
+    sim.setScheduler(std::move(scheduler));
+    std::vector<std::unique_ptr<PulseBox>> producers;
+    std::vector<std::unique_ptr<SinkBox>> sinks;
+    for (u32 i = 0; i < 6; ++i) {
+        const std::string wire = "wire" + std::to_string(i);
+        producers.push_back(std::make_unique<PulseBox>(
+            sim.binder(), sim.stats(), "producer" + std::to_string(i),
+            wire, 10 + i));
+        sinks.push_back(std::make_unique<SinkBox>(
+            sim.binder(), sim.stats(), "sink" + std::to_string(i),
+            wire));
+        sim.addBox(producers.back().get());
+        sim.addBox(sinks.back().get());
+    }
+    sim.run(cycles);
+    EXPECT_TRUE(sim.quiescent());
+    std::ostringstream os;
+    sim.stats().writeTotalsCsv(os);
+    for (u32 i = 0; i < 6; ++i)
+        EXPECT_EQ(sinks[i]->received, 10 + i);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(Scheduler, ParallelMatchesSerialOnMesh)
+{
+    const std::string serial =
+        runMesh(std::make_unique<SerialScheduler>(), 32);
+    const std::string par2 =
+        runMesh(std::make_unique<ParallelScheduler>(2), 32);
+    const std::string par4 =
+        runMesh(std::make_unique<ParallelScheduler>(4), 32);
+    EXPECT_EQ(serial, par2);
+    EXPECT_EQ(serial, par4);
+}
+
+TEST(Scheduler, ParallelPropagatesWorkerErrors)
+{
+    Simulator sim;
+    sim.setScheduler(std::make_unique<ParallelScheduler>(4));
+    std::vector<std::unique_ptr<FaultyBox>> boxes;
+    for (u32 i = 0; i < 8; ++i) {
+        boxes.push_back(std::make_unique<FaultyBox>(
+            sim.binder(), sim.stats(), "faulty" + std::to_string(i),
+            i == 5 ? 3u : 1'000'000u));
+        sim.addBox(boxes.back().get());
+    }
+    sim.run(3);
+    EXPECT_THROW(sim.step(), SimError);
+}
+
+TEST(Scheduler, MakeSchedulerFactory)
+{
+    auto serial = makeScheduler("serial");
+    EXPECT_STREQ(serial->name(), "serial");
+    EXPECT_EQ(serial->threadCount(), 1u);
+    auto parallel = makeScheduler("parallel", 3);
+    EXPECT_STREQ(parallel->name(), "parallel");
+    EXPECT_EQ(parallel->threadCount(), 3u);
+    EXPECT_THROW(makeScheduler("bogus"), FatalError);
+}
+
+TEST(ClockDomain, DividerGatesTicks)
+{
+    Simulator sim;
+
+    class TickBox : public Box
+    {
+      public:
+        TickBox(SignalBinder& binder, StatisticManager& stats,
+                std::string name)
+            : Box(binder, stats, std::move(name))
+        {}
+        void update(Cycle) override { ++ticks; }
+        u32 ticks = 0;
+    };
+
+    TickBox fast(sim.binder(), sim.stats(), "fast");
+    TickBox slow(sim.binder(), sim.stats(), "slow");
+    sim.domain("core").addBox(&fast);
+    sim.domain("memory", 3).addBox(&slow);
+
+    sim.run(9);
+    EXPECT_EQ(fast.ticks, 9u);
+    EXPECT_EQ(slow.ticks, 3u);
+    EXPECT_EQ(sim.domain("core").cycle(), 9u);
+    EXPECT_EQ(sim.domain("memory", 3).cycle(), 3u);
+
+    // Re-requesting an existing domain with a different divider is a
+    // configuration error.
+    EXPECT_THROW(sim.domain("memory", 2), FatalError);
+}
+
 TEST(Simulator, DrainDetection)
 {
     Simulator sim;
@@ -275,7 +557,7 @@ TEST(Simulator, DrainDetection)
         CountBox(SignalBinder& binder, StatisticManager& stats)
             : Box(binder, stats, "count")
         {}
-        void clock(Cycle) override { ++ticks; }
+        void update(Cycle) override { ++ticks; }
         bool empty() const override { return ticks >= 5; }
         u32 ticks = 0;
     };

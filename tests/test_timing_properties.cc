@@ -119,7 +119,7 @@ TEST(TimingProperties, MemoryPagePenaltyVisible)
                      config.memoryRequestQueue);
         }
         void
-        clock(Cycle cycle) override
+        update(Cycle cycle) override
         {
             mem.clock(cycle);
             while (mem.hasResponse()) {
@@ -183,7 +183,7 @@ TEST(TimingProperties, ReadWriteTurnaroundVisible)
                      config.memoryRequestQueue);
         }
         void
-        clock(Cycle cycle) override
+        update(Cycle cycle) override
         {
             mem.clock(cycle);
             while (mem.hasResponse()) {
