@@ -94,8 +94,9 @@ overdrawScene(u32 layers, u32 fbW, u32 fbH)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("ablations");
     printHeader("Ablations: HZ / Z-compression / fast clear /"
                 " vertex cache");

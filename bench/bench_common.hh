@@ -8,9 +8,11 @@
 #define ATTILA_BENCH_COMMON_HH
 
 #include <chrono>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "gl/context.hh"
@@ -35,6 +37,84 @@ inline void
 setBench(const std::string& name)
 {
     benchName() = name;
+}
+
+/** Command-line overrides shared by every bench binary.  Unset
+ * optionals leave the workload's own config (and any environment
+ * overrides) untouched. */
+struct BenchOptions
+{
+    std::optional<gpu::SchedulerKind> scheduler;
+    std::optional<u32> threads;
+    std::optional<bool> idleSkip;
+};
+
+inline BenchOptions&
+options()
+{
+    static BenchOptions opts;
+    return opts;
+}
+
+/**
+ * Consume `--scheduler=serial|parallel`, `--threads=N` and
+ * `--idle-skip=0|1` from argv, compacting the array in place so
+ * downstream parsers (e.g. google-benchmark's Initialize) never see
+ * them.  Unrecognised arguments are left alone.  Exits with a
+ * diagnostic on a malformed value.
+ */
+inline void
+parseArgs(int& argc, char** argv)
+{
+    const auto bad = [](const std::string& arg) {
+        std::cerr << "error: bad bench flag '" << arg << "'\n"
+                  << "usage: --scheduler=serial|parallel "
+                     "--threads=N --idle-skip=0|1\n";
+        std::exit(2);
+    };
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--scheduler=", 0) == 0) {
+            const std::string v = arg.substr(12);
+            if (v == "serial")
+                options().scheduler = gpu::SchedulerKind::Serial;
+            else if (v == "parallel")
+                options().scheduler = gpu::SchedulerKind::Parallel;
+            else
+                bad(arg);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            const std::string v = arg.substr(10);
+            char* end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || n == 0)
+                bad(arg);
+            options().threads = static_cast<u32>(n);
+        } else if (arg.rfind("--idle-skip=", 0) == 0) {
+            const std::string v = arg.substr(12);
+            if (v == "1" || v == "true" || v == "on")
+                options().idleSkip = true;
+            else if (v == "0" || v == "false" || v == "off")
+                options().idleSkip = false;
+            else
+                bad(arg);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+}
+
+/** Apply the parsed overrides to a run's config. */
+inline void
+applyOptions(gpu::GpuConfig& config)
+{
+    if (options().scheduler)
+        config.scheduler = *options().scheduler;
+    if (options().threads)
+        config.schedulerThreads = *options().threads;
+    if (options().idleSkip)
+        config.idleSkip = *options().idleSkip;
 }
 
 /** Outcome of one simulated run. */
@@ -119,7 +199,9 @@ emitJson(const std::string& label, const RunResult& result)
               << result.wallSeconds << ",\"khz\":"
               << std::setprecision(3) << result.simKHz()
               << ",\"scheduler\":\"" << sched
-              << "\",\"threads\":" << c.schedulerThreads << "}\n"
+              << "\",\"threads\":" << c.schedulerThreads
+              << ",\"idle_skip\":" << (c.idleSkip ? "true" : "false")
+              << "}\n"
               << std::defaultfloat;
 }
 
@@ -130,6 +212,7 @@ run(const gpu::CommandList& commands, gpu::GpuConfig config,
     u32 frames, const std::string& label = "run")
 {
     config.memorySize = 64u << 20;
+    applyOptions(config);
     RunResult result;
     result.gpu = std::make_unique<gpu::Gpu>(config);
     result.gpu->dac().setKeepLastOnly(true);

@@ -20,8 +20,9 @@ using namespace attila;
 using namespace attila::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("fig10_image_verify");
     printHeader("Figure 10: simulator vs reference image"
                 " verification");

@@ -25,8 +25,9 @@ using namespace attila;
 using namespace attila::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("fig7_alu_tex_ratio");
     printHeader("Figure 7: shader ALU vs texture unit ratio");
 

@@ -20,8 +20,9 @@ using namespace attila;
 using namespace attila::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("fig8_texcache");
     printHeader("Figure 8: texture cache behaviour vs TU count");
 

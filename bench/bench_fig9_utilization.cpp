@@ -54,8 +54,9 @@ printSeries(const std::vector<UnitSeries>& series)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("fig9_utilization");
     printHeader("Figure 9: unit utilization per 10K-cycle window");
 

@@ -10,10 +10,12 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "emu/fragment_op_emulator.hh"
 #include "emu/rasterizer_emulator.hh"
 #include "emu/shader_emulator.hh"
@@ -35,8 +37,9 @@ struct ClockLoopModel
       public:
         Stage(sim::SignalBinder& binder,
               sim::StatisticManager& stats, const std::string& name,
-              const std::string& in, const std::string& out)
-            : Box(binder, stats, name)
+              const std::string& in, const std::string& out,
+              bool stateless = false)
+            : Box(binder, stats, name), _stateless(stateless)
         {
             if (!in.empty())
                 _in = input(in, 1, 1);
@@ -52,13 +55,32 @@ struct ClockLoopModel
                 obj = _in->read(cycle);
             else
                 obj = std::make_shared<sim::DynamicObject>();
-            if (obj && _out && _out->canWrite(cycle))
-                _out->write(cycle, std::move(obj));
+            if (obj) {
+                ++_received;
+                if (_out && _out->canWrite(cycle))
+                    _out->write(cycle, std::move(obj));
+            }
+        }
+
+        /** Stateless relays carry no work between cycles: with quiet
+         * inputs their update() is a no-op, so they may be skipped. */
+        bool
+        busy() const override
+        {
+            return !_stateless;
+        }
+
+        u64
+        received() const
+        {
+            return _received;
         }
 
       private:
         sim::Signal* _in = nullptr;
         sim::Signal* _out = nullptr;
+        bool _stateless = false;
+        u64 _received = 0;
     };
 
     explicit ClockLoopModel(u32 stages)
@@ -77,6 +99,97 @@ struct ClockLoopModel
 
     sim::Simulator sim;
     std::vector<std::unique_ptr<Stage>> boxes;
+};
+
+/**
+ * A bursty producer feeding a chain of stateless relays: emits
+ * @p burstLen objects back to back, then sleeps for the rest of a
+ * @p period-cycle window via wakeAt().  Between bursts the whole
+ * model is provably idle, so an idle-skipping scheduler fast-forwards
+ * straight to the next burst.  Used for the idle-skip A/B wall-clock
+ * comparison.
+ */
+struct IdlePhaseModel
+{
+    class BurstSource : public sim::Box
+    {
+      public:
+        BurstSource(sim::SignalBinder& binder,
+                    sim::StatisticManager& stats,
+                    const std::string& out, u32 bursts, u32 burstLen,
+                    u32 period)
+            : Box(binder, stats, "burst_source"), _bursts(bursts),
+              _burstLen(burstLen), _period(period)
+        {
+            _out = output(out, 1, 1);
+            wakeAt(0); // First burst fires at cycle 0.
+        }
+
+        void
+        update(Cycle cycle) override
+        {
+            if (_remaining == 0 && _bursts > 0 &&
+                cycle >= _nextBurst) {
+                _remaining = _burstLen;
+                --_bursts;
+                _nextBurst = cycle + _period;
+            }
+            if (_remaining > 0 && _out->canWrite(cycle)) {
+                _out->write(cycle,
+                            std::make_shared<sim::DynamicObject>());
+                if (--_remaining == 0 && _bursts > 0)
+                    wakeAt(_nextBurst);
+            }
+        }
+
+        bool
+        busy() const override
+        {
+            return _remaining > 0;
+        }
+
+        bool
+        empty() const override
+        {
+            return _bursts == 0 && _remaining == 0;
+        }
+
+      private:
+        sim::Signal* _out = nullptr;
+        u32 _bursts;
+        u32 _burstLen;
+        u32 _period;
+        u32 _remaining = 0;
+        Cycle _nextBurst = 0;
+    };
+
+    IdlePhaseModel(u32 stages, u32 bursts, u32 burstLen, u32 period)
+    {
+        source = std::make_unique<BurstSource>(
+            sim.binder(), sim.stats(), "wire0", bursts, burstLen,
+            period);
+        sim.addBox(source.get());
+        for (u32 i = 1; i <= stages; ++i) {
+            const std::string in = "wire" + std::to_string(i - 1);
+            const std::string out =
+                i == stages ? "" : "wire" + std::to_string(i);
+            relays.push_back(std::make_unique<ClockLoopModel::Stage>(
+                sim.binder(), sim.stats(),
+                "relay" + std::to_string(i), in, out,
+                /*stateless=*/true));
+            sim.addBox(relays.back().get());
+        }
+    }
+
+    u64
+    sinkCount() const
+    {
+        return relays.back()->received();
+    }
+
+    sim::Simulator sim;
+    std::unique_ptr<BurstSource> source;
+    std::vector<std::unique_ptr<ClockLoopModel::Stage>> relays;
 };
 
 } // anonymous namespace
@@ -211,19 +324,56 @@ BM_ZTileCompress(benchmark::State& state)
 }
 BENCHMARK(BM_ZTileCompress);
 
+namespace
+{
+
+/** Run the bursty model for @p cycles with idle skipping on or off;
+ * emits one BENCH_JSON line and returns {sink count, wall time}. */
+std::pair<u64, f64>
+runIdlePhase(u64 cycles, bool idle_skip)
+{
+    IdlePhaseModel model(/*stages=*/16, /*bursts=*/64,
+                         /*burstLen=*/64, /*period=*/4096);
+    model.sim.setIdleSkip(idle_skip);
+    const auto start = std::chrono::steady_clock::now();
+    model.sim.run(cycles);
+    const auto stop = std::chrono::steady_clock::now();
+    const f64 wall =
+        std::chrono::duration<f64>(stop - start).count();
+    std::cout << "BENCH_JSON {\"bench\":\"micro_framework\","
+              << "\"label\":\"idle_phase_model\",\"cycles\":"
+              << cycles << ",\"objects\":" << model.sinkCount()
+              << ",\"wall_s\":" << wall << ",\"khz\":"
+              << (wall > 0.0 ? static_cast<f64>(cycles) / wall / 1e3
+                             : 0.0)
+              << ",\"scheduler\":\"serial\",\"threads\":1"
+              << ",\"idle_skip\":" << (idle_skip ? "true" : "false")
+              << "}\n";
+    return {model.sinkCount(), wall};
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char** argv)
 {
+    attila::bench::parseArgs(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
+    const bool idle_skip =
+        attila::bench::options().idleSkip.value_or(true);
+
     // Machine-readable wall-clock line matching the other bench
-    // binaries: the raw two-phase clock-loop rate.
+    // binaries: the raw two-phase clock-loop rate.  Every stage of
+    // this model is busy every cycle, so idle skipping has nothing
+    // to skip here.
     constexpr u64 cycles = 200'000;
     ClockLoopModel model(16);
+    model.sim.setIdleSkip(idle_skip);
     const auto start = std::chrono::steady_clock::now();
     model.sim.run(cycles);
     const auto stop = std::chrono::steady_clock::now();
@@ -234,6 +384,23 @@ main(int argc, char** argv)
               << cycles << ",\"wall_s\":" << wall << ",\"khz\":"
               << (wall > 0.0 ? static_cast<f64>(cycles) / wall / 1e3
                              : 0.0)
-              << ",\"scheduler\":\"serial\",\"threads\":1}\n";
+              << ",\"scheduler\":\"serial\",\"threads\":1"
+              << ",\"idle_skip\":" << (idle_skip ? "true" : "false")
+              << "}\n";
+
+    // Idle-skip A/B: a workload that is mostly idle between bursts.
+    // The two runs must agree exactly on delivered object counts;
+    // the wall-clock ratio is the idle-skip speedup.
+    constexpr u64 idleCycles = 64 * 4096;
+    const auto [onCount, onWall] = runIdlePhase(idleCycles, true);
+    const auto [offCount, offWall] = runIdlePhase(idleCycles, false);
+    if (onCount != offCount) {
+        std::cerr << "FAIL: idle-skip changed delivered objects ("
+                  << onCount << " vs " << offCount << ")\n";
+        return 1;
+    }
+    std::cout << "BENCH_JSON {\"bench\":\"micro_framework\","
+              << "\"label\":\"idle_phase_speedup\",\"speedup\":"
+              << (onWall > 0.0 ? offWall / onWall : 0.0) << "}\n";
     return 0;
 }

@@ -40,8 +40,9 @@ printTopology(const char* title, const gpu::GpuConfig& config)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("table1_pipeline");
     printHeader("Table 1: baseline ATTILA architecture");
 

@@ -12,8 +12,9 @@ using namespace attila;
 using namespace attila::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("table2_caches");
     printHeader("Table 2: baseline ATTILA caches");
 

@@ -16,8 +16,9 @@ using namespace attila;
 using namespace attila::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseArgs(argc, argv);
     setBench("unified_vs_nonunified");
     printHeader("Unified vs non-unified shader model (paper"
                 " refs [1], [2])");

@@ -25,6 +25,9 @@ class Clipper : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
   private:
     LinkRx<TriangleObj> _in;

@@ -124,6 +124,9 @@ class ColorWrite : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
     /** Clear-state shared with the DAC for frame assembly. */
     std::shared_ptr<const ColorClearInfo>

@@ -45,6 +45,10 @@ class CommandProcessor : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet (busyCycles only counts
+     * cycles with commands pending, which empty() covers). */
+    bool busy() const override { return !empty(); }
 
     /** Append a command stream for execution. */
     void submit(const CommandList& list);

@@ -52,6 +52,9 @@ class Dac : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
     /** Clear-state tables of the ColorWrite units (set by Gpu). */
     void

@@ -43,6 +43,9 @@ class FragmentFifo : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
   private:
     enum class EntryKind : u8 { VertexGroup, Quad, Marker };

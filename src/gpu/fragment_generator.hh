@@ -33,6 +33,9 @@ class FragmentGenerator : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
   private:
     void startTriangle(Cycle cycle);

@@ -32,6 +32,17 @@ applyEnvOverrides(GpuConfig config)
         config.schedulerThreads =
             static_cast<u32>(std::strtoul(env, nullptr, 10));
     }
+    if (const char* env = std::getenv("ATTILA_IDLE_SKIP")) {
+        const std::string flag(env);
+        if (flag == "0" || flag == "false" || flag == "off") {
+            config.idleSkip = false;
+        } else if (flag == "1" || flag == "true" || flag == "on") {
+            config.idleSkip = true;
+        } else if (!flag.empty()) {
+            fatal("ATTILA_IDLE_SKIP='", flag,
+                  "': expected 0|1|false|true|off|on");
+        }
+    }
     return config;
 }
 
@@ -140,6 +151,7 @@ Gpu::Gpu(const GpuConfig& config)
                 _config.schedulerThreads));
         }
     }
+    _sim.setIdleSkip(_config.idleSkip);
 }
 
 bool
@@ -157,6 +169,17 @@ Gpu::runUntilIdle(u64 max_cycles)
             continue;
         if (_sim.cycle() % poll == 0 && _sim.quiescent())
             return true;
+        // Fully idle stretches between polls fast-forward in bulk
+        // (bit-identical: the skipped steps clock nothing).  Cap at
+        // the next poll boundary so the quiescence check still runs
+        // at exactly the cycles the always-clock path checks.
+        if (_config.idleSkip && i + 1 < max_cycles) {
+            const u64 untilPoll = poll - _sim.cycle() % poll;
+            if (untilPoll > 1) {
+                i += _sim.fastForward(
+                    std::min(untilPoll - 1, max_cycles - i - 1));
+            }
+        }
     }
     return false;
 }

@@ -136,6 +136,12 @@ struct GpuConfig
     /** Worker threads for the parallel engine; 0 = all hardware
      * threads.  Overridable via ATTILA_SCHED_THREADS. */
     u32 schedulerThreads = 0;
+    /** Activity-driven clocking: skip provably idle boxes and
+     * fast-forward fully idle stretches.  Bit-identical results
+     * either way; false restores the always-clock reference path
+     * for debugging and A/B runs.  Overridable via
+     * ATTILA_IDLE_SKIP=0|1. */
+    bool idleSkip = true;
     /** Cycles between drain polls once the command stream is
      * exhausted (the poll walks every box and signal, so it is too
      * expensive to run each cycle). */

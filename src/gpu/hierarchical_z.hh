@@ -41,6 +41,9 @@ class HierarchicalZ : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
     /** Quantize a depth to the 8-bit HZ scale (round up = far). */
     static u8

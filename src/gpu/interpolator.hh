@@ -33,6 +33,10 @@ class Interpolator : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet (the delay pipeline counts
+     * as held work). */
+    bool busy() const override { return !empty(); }
 
     /** Interpolate the inputs of @p quad in place (also used by unit
      * tests). */

@@ -102,6 +102,10 @@ class MemoryController : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet (in-flight channel bursts
+     * count as held work). */
+    bool busy() const override { return !empty(); }
 
     /** Total bytes transferred (reads + writes). */
     u64 totalBytes() const { return _totalBytes; }

@@ -28,6 +28,9 @@ class PrimitiveAssembly : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
   private:
     /** Emit a triangle from stored vertices a, b, c. */

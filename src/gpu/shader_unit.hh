@@ -58,6 +58,9 @@ class ShaderUnit : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no threads and no queued inputs. */
+    bool busy() const override { return !empty(); }
 
   private:
     struct Thread

@@ -36,6 +36,9 @@ class Streamer : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet. */
+    bool busy() const override { return !empty(); }
 
   private:
     /** Reorder buffer entry: one vertex awaiting commit. */

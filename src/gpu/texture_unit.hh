@@ -34,6 +34,10 @@ class TextureUnit : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet (an active request filtering
+     * against its timer counts as held work). */
+    bool busy() const override { return !empty(); }
 
   private:
     /** A request being processed. */

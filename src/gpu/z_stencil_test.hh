@@ -71,6 +71,10 @@ class ZStencilTest : public sim::Box
 
     void update(Cycle cycle) override;
     bool empty() const override;
+    /** Idle == drained: update() is a no-op whenever the unit holds
+     * no work and its inputs are quiet (delay pipelines and control
+     * phases count as held work). */
+    bool busy() const override { return !empty(); }
 
   private:
     enum class CtrlPhase : u8 { None, Clearing, Flushing };

@@ -93,6 +93,94 @@ class Box
      */
     virtual bool empty() const { return true; }
 
+    // ===== Activity contract (idle skipping) =======================
+    //
+    // A box is *provably idle* at a cycle when its update() would be
+    // a semantic no-op: no internal state to advance, no input
+    // traffic to consume, no scheduled wakeup due.  The scheduler
+    // may then skip both phases for the cycle without changing any
+    // observable (cycle counts, statistics, signal traffic) — the
+    // basis for the engine's activity-driven clocking.
+    //
+    // Contract for implementors:
+    //  - busy() must return true whenever update() does anything
+    //    observable that is not triggered by input-signal traffic
+    //    (stat increments count!).  The default returns true, so a
+    //    box that does not opt in is simply always clocked.
+    //  - Work that begins at a known future cycle while the box is
+    //    otherwise idle must be announced with wakeAt(); the
+    //    scheduler guarantees the box is clocked no later than the
+    //    announced cycle.  A box that is busy() until the work lands
+    //    never needs wakeAt().
+    //  - Input traffic needs no reporting: every registered input
+    //    signal holding an in-flight object keeps the box awake
+    //    automatically (signal delivery marks the consumer active).
+
+    /**
+     * True while update() may have observable work that is not
+     * driven by input-signal traffic.  Override to opt in to idle
+     * skipping; the conservative default keeps the box clocked
+     * every cycle.
+     */
+    virtual bool busy() const { return true; }
+
+    /** Sentinel for "no wakeup scheduled". */
+    static constexpr Cycle NoWake = ~Cycle{0};
+
+    /** Earliest scheduled wakeup, or NoWake. */
+    Cycle nextWake() const { return _nextWake; }
+
+    /**
+     * True when the scheduler may skip this box at @p cycle: not
+     * busy, no wakeup due, and no object in flight on any input
+     * signal.  An object is counted from the moment its writer
+     * commits until it is read, so a sleeping consumer is clocked
+     * throughout the delivery window and can never miss an arrival
+     * (which would otherwise trip the signal's data-loss check).
+     */
+    bool
+    idleAt(Cycle cycle) const
+    {
+        if (busy())
+            return false;
+        if (cycle >= _nextWake)
+            return false;
+        for (const Signal* signal : _inputSignals) {
+            if (!signal->fastEmpty())
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Scheduler entry point for phase A: clears an expired wakeup
+     * hint (the box re-arms it from update() when needed) and runs
+     * update().
+     */
+    void
+    beginUpdate(Cycle cycle)
+    {
+        if (cycle >= _nextWake)
+            _nextWake = NoWake;
+        update(cycle);
+    }
+
+    /**
+     * Per-cycle skip latch, written by the scheduler in phase A and
+     * read back in phase B so a skipped box also skips propagate().
+     * Under the parallel scheduler the same worker owns a box in
+     * both phases (static round-robin partition), so the latch
+     * needs no synchronization.
+     */
+    void markSkipped(bool skipped) { _skipped = skipped; }
+    bool skipped() const { return _skipped; }
+
+    /** Input signals registered for this box (read-only). */
+    const std::vector<Signal*>& inputSignals() const
+    {
+        return _inputSignals;
+    }
+
   protected:
     /** Register an input signal of this box. */
     Signal*
@@ -118,19 +206,36 @@ class Box
         return _stats.get(_name, stat_name);
     }
 
+    /**
+     * Announce that this box, though currently not busy(), has work
+     * scheduled at @p cycle.  Earlier of the two wins when a wakeup
+     * is already pending; the hint is cleared when the box is next
+     * clocked at or after the announced cycle.
+     */
+    void
+    wakeAt(Cycle cycle)
+    {
+        if (cycle < _nextWake)
+            _nextWake = cycle;
+    }
+
     SignalBinder& binder() { return _binder; }
     StatisticManager& statistics() { return _stats; }
 
   private:
-    // The binder appends every signal this box writes, regardless of
-    // whether registration went through output() or a helper (links,
-    // memory ports) talking to the binder directly.
+    // The binder appends every signal this box writes or reads,
+    // regardless of whether registration went through
+    // input()/output() or a helper (links, memory ports) talking to
+    // the binder directly.
     friend class SignalBinder;
 
     SignalBinder& _binder;
     StatisticManager& _stats;
     std::string _name;
     std::vector<Signal*> _outputSignals;
+    std::vector<Signal*> _inputSignals;
+    Cycle _nextWake = NoWake;
+    bool _skipped = false;
 };
 
 } // namespace attila::sim

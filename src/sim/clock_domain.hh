@@ -19,6 +19,7 @@
 #ifndef ATTILA_SIM_CLOCK_DOMAIN_HH
 #define ATTILA_SIM_CLOCK_DOMAIN_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,28 @@ class ClockDomain
     /** Complete one domain cycle. */
     void advance() { ++_cycle; }
 
+    /** Complete @p n domain cycles at once (whole-domain
+     * fast-forward: the skipped cycles clock no boxes). */
+    void advanceBy(u64 n) { _cycle += n; }
+
+    /**
+     * Record whether the last clockDomain() pass skipped every box.
+     * Written by the scheduler, read by the simulator's fast-forward
+     * check.
+     */
+    void noteAllIdle(bool idle) { _lastAllIdle = idle; }
+    bool lastAllIdle() const { return _lastAllIdle; }
+
+    /** Earliest wakeup scheduled by any box, or Box::NoWake. */
+    Cycle
+    nextWake() const
+    {
+        Cycle wake = Box::NoWake;
+        for (const Box* box : _boxes)
+            wake = std::min(wake, box->nextWake());
+        return wake;
+    }
+
     /** True when every box of the domain reports no in-flight work. */
     bool
     allEmpty() const
@@ -89,6 +112,7 @@ class ClockDomain
     u32 _divider;
     std::vector<Box*> _boxes;
     Cycle _cycle = 0;
+    bool _lastAllIdle = false;
 };
 
 } // namespace attila::sim

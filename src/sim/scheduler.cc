@@ -76,19 +76,34 @@ struct ParallelScheduler::Impl
             const auto& boxes = domain->boxes();
             const Cycle c = cycle;
             const bool updatePhase = phase == 0;
+            const bool skipping = idleSkip;
+            bool workerActive = false;
             for (std::size_t i = index; i < boxes.size();
                  i += threads) {
                 try {
-                    if (updatePhase)
-                        boxes[i]->update(c);
-                    else
+                    if (updatePhase) {
+                        // The skip decision and latch are private to
+                        // this worker: the static partition hands
+                        // the same box to the same worker in both
+                        // phases.
+                        const bool skip =
+                            skipping && boxes[i]->idleAt(c);
+                        boxes[i]->markSkipped(skip);
+                        if (!skip) {
+                            workerActive = true;
+                            boxes[i]->beginUpdate(c);
+                        }
+                    } else if (!boxes[i]->skipped()) {
                         boxes[i]->propagate(c);
+                    }
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(errorMutex);
                     errors.emplace_back(i, std::current_exception());
                     break;
                 }
             }
+            if (updatePhase && workerActive)
+                anyActive.store(true, std::memory_order_relaxed);
 
             if (remaining.fetch_sub(1, std::memory_order_acq_rel) ==
                 1) {
@@ -144,6 +159,11 @@ struct ParallelScheduler::Impl
     ClockDomain* domain = nullptr;
     Cycle cycle = 0;
     int phase = 0;
+    bool idleSkip = true;
+
+    // Set by any worker that clocked at least one box in phase A;
+    // the simulator thread reads it after the phase barrier.
+    std::atomic<bool> anyActive{false};
 
     std::atomic<u64> generation{0};
     std::atomic<u32> remaining{0};
@@ -174,10 +194,15 @@ ParallelScheduler::clockDomain(ClockDomain& domain, Cycle cycle)
 {
     _impl->domain = &domain;
     _impl->cycle = cycle;
+    _impl->idleSkip = idleSkip();
+    _impl->anyActive.store(false, std::memory_order_relaxed);
     _impl->runPhase(0);
     _impl->rethrowFirstError();
     _impl->runPhase(1);
     _impl->rethrowFirstError();
+    domain.noteAllIdle(
+        idleSkip() &&
+        !_impl->anyActive.load(std::memory_order_relaxed));
 }
 
 std::unique_ptr<Scheduler>

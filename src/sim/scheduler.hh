@@ -49,8 +49,24 @@ class Scheduler
     /**
      * Run one cycle of @p domain at domain-local cycle @p cycle:
      * phase A (update) for every box, then phase B (propagate).
+     * With idle skipping enabled, boxes that are provably idle
+     * (Box::idleAt) skip both phases, and the domain's all-idle
+     * flag is recorded for the simulator's fast-forward check.
      */
     virtual void clockDomain(ClockDomain& domain, Cycle cycle) = 0;
+
+    /**
+     * Enable or disable idle skipping (default on).  Disabling
+     * restores the always-clock reference path: every box runs both
+     * phases every cycle, exactly as before the activity contract
+     * existed.  Observables are identical either way; the switch
+     * exists for debugging and A/B benchmarking.
+     */
+    void setIdleSkip(bool enable) { _idleSkip = enable; }
+    bool idleSkip() const { return _idleSkip; }
+
+  private:
+    bool _idleSkip = true;
 };
 
 /** Reference single-threaded engine. */
@@ -63,10 +79,31 @@ class SerialScheduler final : public Scheduler
     clockDomain(ClockDomain& domain, Cycle cycle) override
     {
         const auto& boxes = domain.boxes();
-        for (Box* box : boxes)
-            box->update(cycle);
-        for (Box* box : boxes)
-            box->propagate(cycle);
+        if (!idleSkip()) {
+            // Always-clock reference path; beginUpdate still
+            // retires expired wake hints so toggling the mode
+            // mid-run cannot leave stale ones behind.
+            for (Box* box : boxes)
+                box->beginUpdate(cycle);
+            for (Box* box : boxes)
+                box->propagate(cycle);
+            domain.noteAllIdle(false);
+            return;
+        }
+        bool allIdle = true;
+        for (Box* box : boxes) {
+            const bool skip = box->idleAt(cycle);
+            box->markSkipped(skip);
+            if (!skip) {
+                allIdle = false;
+                box->beginUpdate(cycle);
+            }
+        }
+        for (Box* box : boxes) {
+            if (!box->skipped())
+                box->propagate(cycle);
+        }
+        domain.noteAllIdle(allIdle);
     }
 };
 

@@ -97,6 +97,7 @@ Signal::publish(Cycle cycle, DynamicObjectPtr obj)
         _tracer->record(cycle, _name, *obj);
 
     slot.objects.push_back(std::move(obj));
+    ++_live;
     ++_totalWrites;
     if (_writeStat)
         _writeStat->inc();
@@ -148,6 +149,7 @@ Signal::read(Cycle cycle)
     }
     DynamicObjectPtr obj = std::move(slot.objects[slot.readIndex]);
     ++slot.readIndex;
+    --_live;
     ++_totalReads;
     if (slot.drained()) {
         slot.objects.clear();
@@ -168,10 +170,7 @@ Signal::pendingAt(Cycle cycle) const
 u64
 Signal::inFlight() const
 {
-    u64 count = _pending.size();
-    for (const Slot& slot : _slots)
-        count += slot.objects.size() - slot.readIndex;
-    return count;
+    return _pending.size() + _live;
 }
 
 } // namespace attila::sim

@@ -103,9 +103,25 @@ class Signal
     /**
      * Objects somewhere inside the wire: committed but unread, plus
      * staged writes.  Used by the drain detector — a model is only
-     * quiescent when every signal is empty.
+     * quiescent when every signal is empty.  O(1): maintained as a
+     * live counter, not a slot walk.
      */
     u64 inFlight() const;
+
+    /**
+     * True when no committed-but-unread object is inside the wire.
+     * O(1) — this is the idle-skip hot path, polled for every input
+     * of every candidate box each cycle.  Staged (uncommitted)
+     * writes are deliberately *not* counted: they belong to the
+     * writer's in-progress cycle, only become observable after the
+     * phase barrier, and reading the pending buffer here would race
+     * with the writer's phase A under the parallel scheduler.  The
+     * counter is written by the writer box's thread in phase B
+     * (publish) and by the reader box's thread in phase A (read);
+     * idle-skip checks run in phase A, so every access is separated
+     * from the publishing store by the scheduler's phase barrier.
+     */
+    bool fastEmpty() const { return _live == 0; }
 
     /** Attach a trace writer; every write is then recorded. */
     void setTracer(SignalTraceWriter* tracer) { _tracer = tracer; }
@@ -153,6 +169,9 @@ class Signal
     Statistic* _writeStat = nullptr;
     u64 _totalWrites = 0;
     u64 _totalReads = 0;
+    /** Committed-but-unread objects across all slots; see
+     * fastEmpty() for the threading contract. */
+    u64 _live = 0;
 };
 
 } // namespace attila::sim

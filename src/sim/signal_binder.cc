@@ -55,6 +55,7 @@ SignalBinder::registerSignal(Box* box, const std::string& name,
                   "' registered as reader");
         }
         entry.reader = box;
+        box->_inputSignals.push_back(entry.signal.get());
     }
     return entry.signal.get();
 }

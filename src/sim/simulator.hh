@@ -19,6 +19,7 @@
 #ifndef ATTILA_SIM_SIMULATOR_HH
 #define ATTILA_SIM_SIMULATOR_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -99,9 +100,25 @@ class Simulator
         if (!scheduler)
             fatal("setScheduler: null scheduler");
         _scheduler = std::move(scheduler);
+        _scheduler->setIdleSkip(_idleSkip);
     }
 
     Scheduler& scheduler() { return *_scheduler; }
+
+    /**
+     * Enable or disable activity-driven clocking (default on):
+     * per-box idle skipping in the scheduler plus the whole-model
+     * fast-forward in run().  Off restores the always-clock
+     * reference path; observables are identical either way.
+     */
+    void
+    setIdleSkip(bool enable)
+    {
+        _idleSkip = enable;
+        _scheduler->setIdleSkip(enable);
+    }
+
+    bool idleSkip() const { return _idleSkip; }
 
     /** Enable signal tracing into @p path. */
     void
@@ -136,8 +153,71 @@ class Simulator
     void
     run(u64 cycles)
     {
-        for (u64 i = 0; i < cycles; ++i)
+        for (u64 i = 0; i < cycles; ++i) {
             step();
+            if (_idleSkip && i + 1 < cycles)
+                i += fastForward(cycles - i - 1);
+        }
+    }
+
+    /**
+     * Whole-model fast-forward: when the last step skipped every
+     * box of every domain and no object is anywhere inside a wire,
+     * nothing can change state before the earliest scheduled box
+     * wakeup — so skip up to @p maxTicks master ticks in bulk,
+     * performing only the per-tick bookkeeping (domain cycle
+     * counters, statistics windows) the skipped steps would have
+     * done.  Returns the ticks skipped (0 when the model is not
+     * provably idle).  Observables stay bit-identical: the skipped
+     * steps would have clocked no box and closed the same all-zero
+     * statistics windows.
+     */
+    u64
+    fastForward(u64 maxTicks)
+    {
+        if (maxTicks == 0)
+            return 0;
+        for (const auto& d : _domains) {
+            if (!d->lastAllIdle())
+                return 0;
+        }
+        // The per-domain flags can be stale for slow domains between
+        // their ticks (and say nothing about wires between domains),
+        // so additionally require every signal empty.  With no box
+        // busy and nothing in flight, the only future event is the
+        // earliest wakeup.
+        if (_binder.totalInFlight() != 0)
+            return 0;
+        u64 skip = maxTicks;
+        for (const auto& d : _domains) {
+            const Cycle wake = d->nextWake();
+            if (wake == Box::NoWake)
+                continue;
+            const Cycle local = d->cycle();
+            if (wake <= local)
+                return 0; // Wakeup due at the very next tick.
+            // Master tick running domain cycle `wake`: the next tick
+            // where the domain fires, plus (wake - local) periods.
+            const u64 div = d->divider();
+            const u64 rem = _tick % div;
+            const u64 firstFire = rem == 0 ? _tick : _tick + div - rem;
+            const u64 wakeTick = firstFire + (wake - local) * div;
+            skip = std::min(skip, wakeTick - _tick);
+        }
+        if (skip == 0)
+            return 0;
+        for (auto& d : _domains) {
+            const u64 div = d->divider();
+            const u64 rem = _tick % div;
+            const u64 firstFire = rem == 0 ? _tick : _tick + div - rem;
+            if (firstFire < _tick + skip) {
+                d->advanceBy((_tick + skip - 1 - firstFire) / div +
+                             1);
+            }
+        }
+        _stats.skipCycles(_tick, _tick + skip);
+        _tick += skip;
+        return skip;
     }
 
     /** True when every box reports no in-flight work. */
@@ -169,6 +249,7 @@ class Simulator
     std::unique_ptr<Scheduler> _scheduler;
     std::unique_ptr<SignalTraceWriter> _tracer;
     Cycle _tick = 0;
+    bool _idleSkip = true;
 };
 
 } // namespace attila::sim

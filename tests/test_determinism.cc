@@ -73,17 +73,19 @@ struct RunFingerprint
 
 RunFingerprint
 runWith(const gpu::CommandList& list, gpu::SchedulerKind kind,
-        u32 threads)
+        u32 threads, bool idle_skip = true)
 {
     // The test pins its own engines; neutralize the environment
     // overrides a CI job may have exported.
     unsetenv("ATTILA_SCHEDULER");
     unsetenv("ATTILA_SCHED_THREADS");
+    unsetenv("ATTILA_IDLE_SKIP");
 
     gpu::GpuConfig config = gpu::GpuConfig::baseline();
     config.memorySize = 32u << 20;
     config.scheduler = kind;
     config.schedulerThreads = threads;
+    config.idleSkip = idle_skip;
     // A small window so several windows close during the run and the
     // CSV actually exercises the sampling path.
     config.statsWindow = 1000;
@@ -148,6 +150,29 @@ TEST(SchedulerDeterminism, ShadowsSerialVsParallel)
     WorkloadParams params = smallParams();
     ShadowsWorkload workload(params);
     checkWorkload(workload, params);
+}
+
+TEST(SchedulerDeterminism, IdleSkipBitIdentical)
+{
+    // Idle skipping is a pure wall-clock optimization: every
+    // observable (cycle count, stats windows and totals, pixels)
+    // must match the always-clocked run under both schedulers.
+    WorkloadParams params = smallParams();
+    TerrainWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+
+    const RunFingerprint serialOn =
+        runWith(list, gpu::SchedulerKind::Serial, 0, true);
+    const RunFingerprint serialOff =
+        runWith(list, gpu::SchedulerKind::Serial, 0, false);
+    expectIdentical(serialOff, serialOn, "serial idle-skip");
+
+    const RunFingerprint parOn =
+        runWith(list, gpu::SchedulerKind::Parallel, 2, true);
+    const RunFingerprint parOff =
+        runWith(list, gpu::SchedulerKind::Parallel, 2, false);
+    expectIdentical(parOff, parOn, "parallel idle-skip");
+    expectIdentical(serialOff, parOn, "cross idle-skip");
 }
 
 TEST(SchedulerDeterminism, ParallelRunToRunStable)

@@ -33,13 +33,16 @@ buildCommands(Workload& workload, const WorkloadParams& params)
 }
 
 u64
-drainCycle(const gpu::CommandList& list, u32 poll_interval)
+drainCycle(const gpu::CommandList& list, u32 poll_interval,
+           bool idle_skip = true)
 {
     unsetenv("ATTILA_SCHEDULER");
     unsetenv("ATTILA_SCHED_THREADS");
+    unsetenv("ATTILA_IDLE_SKIP");
     gpu::GpuConfig config = gpu::GpuConfig::baseline();
     config.memorySize = 32u << 20;
     config.drainPollInterval = poll_interval;
+    config.idleSkip = idle_skip;
     gpu::Gpu gpu(config);
     gpu.submit(list);
     EXPECT_TRUE(gpu.runUntilIdle(200'000'000))
@@ -69,6 +72,27 @@ TEST(DrainDetection, SparsePollMatchesDensePoll)
     // poll may overshoot by at most one interval.
     EXPECT_GE(sparse, dense);
     EXPECT_LE(sparse - dense, 64u);
+}
+
+TEST(DrainDetection, IdleSkipReachesSameDrainCycle)
+{
+    // Fast-forward between drain polls is capped to the next poll
+    // boundary, so the quiescence check runs at exactly the same
+    // cycles and the reported drain cycle cannot move.
+    WorkloadParams params;
+    params.width = 96;
+    params.height = 96;
+    params.frames = 1;
+    params.textureSize = 32;
+    params.detail = 4;
+    TerrainWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+
+    for (const u32 poll : {1u, 64u}) {
+        const u64 skipOn = drainCycle(list, poll, true);
+        const u64 skipOff = drainCycle(list, poll, false);
+        EXPECT_EQ(skipOn, skipOff) << "poll interval " << poll;
+    }
 }
 
 TEST(DrainDetection, QuiescenceSeesInFlightSignalData)
