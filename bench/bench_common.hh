@@ -17,6 +17,7 @@
 
 #include "gl/context.hh"
 #include "gpu/gpu.hh"
+#include "sim/out_dir.hh"
 #include "workloads/cubes.hh"
 #include "workloads/shadows.hh"
 #include "workloads/terrain.hh"
@@ -47,6 +48,7 @@ struct BenchOptions
     std::optional<gpu::SchedulerKind> scheduler;
     std::optional<u32> threads;
     std::optional<bool> idleSkip;
+    std::optional<bool> emuFastPath;
 };
 
 inline BenchOptions&
@@ -69,7 +71,8 @@ parseArgs(int& argc, char** argv)
     const auto bad = [](const std::string& arg) {
         std::cerr << "error: bad bench flag '" << arg << "'\n"
                   << "usage: --scheduler=serial|parallel "
-                     "--threads=N --idle-skip=0|1\n";
+                     "--threads=N --idle-skip=0|1 "
+                     "--emu-fastpath=0|1\n";
         std::exit(2);
     };
     int out = 1;
@@ -98,6 +101,14 @@ parseArgs(int& argc, char** argv)
                 options().idleSkip = false;
             else
                 bad(arg);
+        } else if (arg.rfind("--emu-fastpath=", 0) == 0) {
+            const std::string v = arg.substr(15);
+            if (v == "1" || v == "true" || v == "on")
+                options().emuFastPath = true;
+            else if (v == "0" || v == "false" || v == "off")
+                options().emuFastPath = false;
+            else
+                bad(arg);
         } else {
             argv[out++] = argv[i];
         }
@@ -115,6 +126,8 @@ applyOptions(gpu::GpuConfig& config)
         config.schedulerThreads = *options().threads;
     if (options().idleSkip)
         config.idleSkip = *options().idleSkip;
+    if (options().emuFastPath)
+        config.emuFastPath = *options().emuFastPath;
 }
 
 /** Outcome of one simulated run. */
@@ -201,7 +214,8 @@ emitJson(const std::string& label, const RunResult& result)
               << ",\"scheduler\":\"" << sched
               << "\",\"threads\":" << c.schedulerThreads
               << ",\"idle_skip\":" << (c.idleSkip ? "true" : "false")
-              << "}\n"
+              << ",\"emu_fastpath\":"
+              << (c.emuFastPath ? "true" : "false") << "}\n"
               << std::defaultfloat;
 }
 

@@ -56,6 +56,8 @@ main(int argc, char** argv)
                                scene.frames);
 
         gpu::RefRenderer reference(64u << 20);
+        if (options().emuFastPath)
+            reference.setFastPath(*options().emuFastPath);
         reference.execute(scene.commands);
 
         const auto& simFrame = result.gpu->frames().back();
@@ -66,10 +68,10 @@ main(int argc, char** argv)
                   << std::setw(12) << simFrame.pixels.size() << diff
                   << "\n";
 
-        const std::string base =
+        const std::string base = sim::outPath(
             std::string("fig10_") +
             (scene.name[0] == 's' ? "shadows"
-             : scene.name[0] == 't' ? "terrain" : "cubes");
+             : scene.name[0] == 't' ? "terrain" : "cubes"));
         simFrame.writePpm(base + "_sim.ppm");
         refFrame.writePpm(base + "_ref.ppm");
     }

@@ -7,7 +7,7 @@
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
  *
- * Produces quickstart.ppm plus a statistics dump, and prints a
+ * Produces out/quickstart.ppm plus a statistics dump, and prints a
  * summary of what the pipeline did.
  */
 
@@ -16,6 +16,7 @@
 
 #include "gl/context.hh"
 #include "gpu/gpu.hh"
+#include "sim/out_dir.hh"
 #include "workloads/cubes.hh"
 
 using namespace attila;
@@ -51,7 +52,7 @@ main()
     }
 
     // 4. The DAC dumped the frame at SwapBuffers.
-    gpu.frames().back().writePpm("quickstart.ppm");
+    gpu.frames().back().writePpm(sim::outPath("quickstart.ppm"));
 
     std::cout << "Rendered " << params.width << "x" << params.height
               << " frame in " << gpu.cycle() << " cycles ("
@@ -75,8 +76,9 @@ main()
               << " bytes\n";
 
     // 5. Dump the full statistics file (the paper's CSV output).
-    std::ofstream csv("quickstart_stats.csv");
+    std::ofstream csv(sim::outPath("quickstart_stats.csv"));
     gpu.stats().writeTotalsCsv(csv);
-    std::cout << "Wrote quickstart.ppm and quickstart_stats.csv\n";
+    std::cout << "Wrote out/quickstart.ppm and"
+                 " out/quickstart_stats.csv\n";
     return 0;
 }

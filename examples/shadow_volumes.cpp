@@ -11,6 +11,7 @@
 
 #include "gpu/gpu.hh"
 #include "gpu/ref_renderer.hh"
+#include "sim/out_dir.hh"
 #include "workloads/shadows.hh"
 
 using namespace attila;
@@ -55,10 +56,10 @@ main(int argc, char** argv)
         std::cout << "  " << f << "    " << gpu.cycle() << "   "
                   << diff << " / "
                   << gpu.frames()[f].pixels.size() << "\n";
-        gpu.frames()[f].writePpm("shadow_sim_frame" +
-                                 std::to_string(f) + ".ppm");
-        reference.frames()[f].writePpm("shadow_ref_frame" +
-                                       std::to_string(f) + ".ppm");
+        gpu.frames()[f].writePpm(sim::outPath(
+            "shadow_sim_frame" + std::to_string(f) + ".ppm"));
+        reference.frames()[f].writePpm(sim::outPath(
+            "shadow_ref_frame" + std::to_string(f) + ".ppm"));
     }
 
     auto total = [&](const std::string& name) -> u64 {
@@ -75,7 +76,7 @@ main(int argc, char** argv)
     std::cout << "HZ tiles culled: "
               << total("HierarchicalZ.tilesCulled") << " of "
               << total("HierarchicalZ.tiles") << "\n";
-    std::cout << "Wrote shadow_sim_frame*.ppm /"
-                 " shadow_ref_frame*.ppm\n";
+    std::cout << "Wrote out/shadow_sim_frame*.ppm /"
+                 " out/shadow_ref_frame*.ppm\n";
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "gl/context.hh"
 #include "gpu/gpu.hh"
+#include "sim/out_dir.hh"
 #include "sim/signal_trace.hh"
 #include "workloads/cubes.hh"
 
@@ -20,7 +21,8 @@ using namespace attila;
 int
 main()
 {
-    const std::string tracePath = "pipeline.sigtrace";
+    const std::string tracePath =
+        sim::outPath("pipeline.sigtrace");
 
     gpu::GpuConfig config = gpu::GpuConfig::baseline();
     config.memorySize = 32u << 20;

@@ -16,6 +16,7 @@
 
 #include "gl/trace.hh"
 #include "gpu/ref_renderer.hh"
+#include "sim/out_dir.hh"
 #include "workloads/terrain.hh"
 
 using namespace attila;
@@ -23,7 +24,7 @@ using namespace attila;
 int
 main()
 {
-    const std::string tracePath = "terrain.agltrace";
+    const std::string tracePath = sim::outPath("terrain.agltrace");
     workloads::WorkloadParams params;
     params.width = 192;
     params.height = 192;
@@ -77,7 +78,8 @@ main()
             referenceOriginal.frames().back());
         std::cout << "hot start at frame " << params.frames - 1
                   << ": " << diff << " differing pixels\n";
-        hot.frames().back().writePpm("terrain_hotstart.ppm");
+        hot.frames().back().writePpm(
+            sim::outPath("terrain_hotstart.ppm"));
     }
     return 0;
 }

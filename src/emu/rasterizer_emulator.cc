@@ -215,9 +215,17 @@ RasterizerEmulator::traverseRecursive(const TriangleSetup& tri,
         rootSize *= 2;
 
     // Recursive descent: subdivide quadrants, pruning with the
-    // conservative edge test (McCool et al.).
-    const std::function<void(s32, s32, u32)> descend =
-        [&](s32 x, s32 y, u32 regionSize) {
+    // conservative edge test (McCool et al.).  A plain self-calling
+    // functor — no std::function, no heap.
+    struct Descend
+    {
+        const TriangleSetup& tri;
+        u32 size;
+        const TileVisitor& visit;
+
+        void
+        operator()(s32 x, s32 y, u32 regionSize) const
+        {
             if (x > tri.maxX || y > tri.maxY ||
                 x + static_cast<s32>(regionSize) <= tri.minX ||
                 y + static_cast<s32>(regionSize) <= tri.minY) {
@@ -231,12 +239,13 @@ RasterizerEmulator::traverseRecursive(const TriangleSetup& tri,
             }
             const u32 half = regionSize / 2;
             const s32 h = static_cast<s32>(half);
-            descend(x, y, half);
-            descend(x + h, y, half);
-            descend(x, y + h, half);
-            descend(x + h, y + h, half);
-        };
-    descend(startX, startY, rootSize);
+            (*this)(x, y, half);
+            (*this)(x + h, y, half);
+            (*this)(x, y + h, half);
+            (*this)(x + h, y + h, half);
+        }
+    };
+    Descend{tri, size, visit}(startX, startY, rootSize);
 }
 
 void
@@ -249,9 +258,37 @@ RasterizerEmulator::traverseScanline(const TriangleSetup& tri,
     const s32 s = static_cast<s32>(size);
     const s32 startX = tri.minX - (tri.minX % s + s) % s;
     const s32 startY = tri.minY - (tri.minY % s + s) % s;
+
+    // Incremental form of tileOverlap(): the corner each edge tests
+    // is fixed by the sign of its coefficient, so the y-dependent
+    // term b*yb is hoisted out of the row and only a*xa varies along
+    // it.  The bounding-box reject inside tileOverlap() never fires
+    // here (the loop ranges already stay within the box), and the
+    // arithmetic below associates exactly like tileOverlap()'s
+    // (a * xa + b * yb + c), keeping the visit set bit-identical.
+    bool aPos[3], bPos[3];
+    for (u32 i = 0; i < 3; ++i) {
+        aPos[i] = tri.a[i] >= 0.0;
+        bPos[i] = tri.b[i] >= 0.0;
+    }
     for (s32 y = startY; y <= tri.maxY; y += s) {
+        const f64 y0c = y + 0.5;
+        const f64 y1c = static_cast<f64>(y + s - 1) + 0.5;
+        f64 rowTerm[3];
+        for (u32 i = 0; i < 3; ++i)
+            rowTerm[i] = tri.b[i] * (bPos[i] ? y1c : y0c);
         for (s32 x = startX; x <= tri.maxX; x += s) {
-            if (tileOverlap(tri, x, y, size))
+            const f64 x0c = x + 0.5;
+            const f64 x1c = static_cast<f64>(x + s - 1) + 0.5;
+            bool overlap = true;
+            for (u32 i = 0; i < 3; ++i) {
+                const f64 xa = aPos[i] ? x1c : x0c;
+                if (tri.a[i] * xa + rowTerm[i] + tri.c[i] < 0.0) {
+                    overlap = false;
+                    break;
+                }
+            }
+            if (overlap)
                 visit(x, y);
         }
     }

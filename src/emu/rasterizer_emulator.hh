@@ -20,9 +20,9 @@
 #define ATTILA_EMU_RASTERIZER_EMULATOR_HH
 
 #include <array>
-#include <functional>
 
 #include "emu/vector.hh"
+#include "sim/function_ref.hh"
 
 namespace attila::emu
 {
@@ -74,8 +74,10 @@ struct FragmentSample
     f32 z = 0.0f;
 };
 
-/** Callback receiving the origin of each candidate tile. */
-using TileVisitor = std::function<void(s32 tileX, s32 tileY)>;
+/** Callback receiving the origin of each candidate tile.
+ * Non-owning (sim::FunctionRef): safe to pass a lambda directly to
+ * the traversal functions, but do not store one past the call. */
+using TileVisitor = sim::FunctionRef<void(s32 tileX, s32 tileY)>;
 
 class RasterizerEmulator
 {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "emu/decoded_program.hh"
 #include "sim/logging.hh"
 
 namespace attila::emu
@@ -103,7 +104,7 @@ ShaderEmulator::step(const ShaderProgram& program,
         const Vec4 coord = readSrc(ins.src[0], state, constants);
         const bool projected = ins.op == Opcode::TXP;
         const f32 bias = ins.op == Opcode::TXB ? coord.w : 0.0f;
-        if (!sampler) {
+        if (!sampler || !*sampler) {
             result.outcome = StepOutcome::TexRequest;
             result.texUnit = ins.texUnit;
             result.texTarget = ins.texTarget;
@@ -264,6 +265,686 @@ ShaderEmulator::run(const ShaderProgram& program,
                   " for texture instructions");
     }
     panic("shader emulator: program did not terminate");
+}
+
+// ---- Pre-decoded fast path -------------------------------------
+//
+// The interpreters below re-use the exact per-component expressions
+// of step() (see execDecodedAlu); only operand *addressing* changed.
+
+namespace
+{
+
+// The two operand helpers run once or twice per lane per
+// instruction; the surrounding interpreter switch is so large that
+// the compiler's inlining budget otherwise outlines them into real
+// calls (a Vec4 returned through memory each time), which dominates
+// the fast path.  Force the issue.
+#if defined(__GNUC__) || defined(__clang__)
+#define ATTILA_EMU_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define ATTILA_EMU_FORCE_INLINE inline
+#endif
+
+/** Fetch a pre-decoded source operand value. */
+ATTILA_EMU_FORCE_INLINE Vec4
+readSrcD(const DecodedSrc& src, const ShaderThreadState& state,
+         const ConstantBank& constants)
+{
+    const Vec4& v = src.fromConstants
+                        ? constants[src.offset]
+                        : decoded::regs(state)[src.offset];
+    if (src.identity)
+        return v;
+    const Vec4 r = src.splat
+                       ? Vec4(v[static_cast<u32>(src.splat - 1)])
+                       : Vec4(v[src.swz[0]], v[src.swz[1]],
+                              v[src.swz[2]], v[src.swz[3]]);
+    return src.negate ? -r : r;
+}
+
+/** Write @p value honoring the pre-decoded mask and saturate. */
+ATTILA_EMU_FORCE_INLINE void
+writeDstD(const DecodedIns& ins, ShaderThreadState& state,
+          const Vec4& value)
+{
+    const Vec4 v = ins.saturate ? saturate(value) : value;
+    Vec4& target = decoded::regs(state)[ins.dstOffset];
+    switch (ins.writeMask) {
+      case 0xf:
+        target = v;
+        return;
+      case 0x1:
+        target.x = v.x;
+        return;
+      case 0x2:
+        target.y = v.y;
+        return;
+      case 0x4:
+        target.z = v.z;
+        return;
+      case 0x8:
+        target.w = v.w;
+        return;
+      default:
+        for (u32 i = 0; i < 4; ++i) {
+            if (ins.writeMask & (1u << i))
+                target[i] = v[i];
+        }
+    }
+}
+
+/**
+ * The ALU dispatch shared by the scalar-decoded and quad paths: one
+ * switch per *instruction*, then @p forLanes applies the case to
+ * each live lane.  Every case computes the same expression as the
+ * matching case of ShaderEmulator::step(), in the same per-lane
+ * order, so results are bit-identical to the reference interpreter.
+ */
+template <typename ForLanes>
+inline void
+execDecodedAlu(const DecodedIns& ins, const ConstantBank& constants,
+               ForLanes&& forLanes)
+{
+    const auto src1 = [&](ShaderThreadState& s) {
+        return readSrcD(ins.src[0], s, constants);
+    };
+    switch (ins.op) {
+      case Opcode::ABS:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            writeDstD(ins, s,
+                      {std::fabs(a.x), std::fabs(a.y),
+                       std::fabs(a.z), std::fabs(a.w)});
+        });
+        break;
+      case Opcode::ADD:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, a + b);
+        });
+        break;
+      case Opcode::CMP:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            const Vec4 c = readSrcD(ins.src[2], s, constants);
+            writeDstD(ins, s,
+                      {a.x < 0.0f ? b.x : c.x, a.y < 0.0f ? b.y : c.y,
+                       a.z < 0.0f ? b.z : c.z,
+                       a.w < 0.0f ? b.w : c.w});
+        });
+        break;
+      case Opcode::COS:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(ins, s, smear(std::cos(src1(s).x)));
+        });
+        break;
+      case Opcode::DP3:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, smear(dot3(a, b)));
+        });
+        break;
+      case Opcode::DP4:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, smear(dot4(a, b)));
+        });
+        break;
+      case Opcode::DPH:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, smear(dot3(a, b) + b.w));
+        });
+        break;
+      case Opcode::EX2:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(ins, s, smear(std::exp2(src1(s).x)));
+        });
+        break;
+      case Opcode::FLR:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            writeDstD(ins, s,
+                      {std::floor(a.x), std::floor(a.y),
+                       std::floor(a.z), std::floor(a.w)});
+        });
+        break;
+      case Opcode::FRC:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            writeDstD(ins, s,
+                      {a.x - std::floor(a.x), a.y - std::floor(a.y),
+                       a.z - std::floor(a.z),
+                       a.w - std::floor(a.w)});
+        });
+        break;
+      case Opcode::LG2:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(ins, s, smear(std::log2(src1(s).x)));
+        });
+        break;
+      case Opcode::LIT:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(ins, s, litOp(src1(s)));
+        });
+        break;
+      case Opcode::LRP:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            const Vec4 c = readSrcD(ins.src[2], s, constants);
+            writeDstD(ins, s, a * b + (Vec4(1.0f) - a) * c);
+        });
+        break;
+      case Opcode::MAD:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            const Vec4 c = readSrcD(ins.src[2], s, constants);
+            writeDstD(ins, s, a * b + c);
+        });
+        break;
+      case Opcode::MAX:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, vmax(a, b));
+        });
+        break;
+      case Opcode::MIN:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, vmin(a, b));
+        });
+        break;
+      case Opcode::MOV:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(ins, s, src1(s));
+        });
+        break;
+      case Opcode::MUL:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, a * b);
+        });
+        break;
+      case Opcode::POW:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, smear(std::pow(a.x, b.x)));
+        });
+        break;
+      case Opcode::RCP:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            writeDstD(ins, s,
+                      smear(a.x == 0.0f
+                                ? std::numeric_limits<f32>::infinity()
+                                : 1.0f / a.x));
+        });
+        break;
+      case Opcode::RSQ:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(
+                ins, s,
+                smear(1.0f / std::sqrt(std::fabs(src1(s).x))));
+        });
+        break;
+      case Opcode::SGE:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s,
+                      {a.x >= b.x ? 1.0f : 0.0f,
+                       a.y >= b.y ? 1.0f : 0.0f,
+                       a.z >= b.z ? 1.0f : 0.0f,
+                       a.w >= b.w ? 1.0f : 0.0f});
+        });
+        break;
+      case Opcode::SIN:
+        forLanes([&](ShaderThreadState& s) {
+            writeDstD(ins, s, smear(std::sin(src1(s).x)));
+        });
+        break;
+      case Opcode::SLT:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s,
+                      {a.x < b.x ? 1.0f : 0.0f,
+                       a.y < b.y ? 1.0f : 0.0f,
+                       a.z < b.z ? 1.0f : 0.0f,
+                       a.w < b.w ? 1.0f : 0.0f});
+        });
+        break;
+      case Opcode::SUB:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, a - b);
+        });
+        break;
+      case Opcode::XPD:
+        forLanes([&](ShaderThreadState& s) {
+            const Vec4 a = src1(s);
+            const Vec4 b = readSrcD(ins.src[1], s, constants);
+            writeDstD(ins, s, cross3(a, b));
+        });
+        break;
+      default:
+        panic("shader emulator: unhandled opcode");
+    }
+}
+
+} // anonymous namespace
+
+StepResult
+ShaderEmulator::stepDecoded(const DecodedProgram& program,
+                            const ConstantBank& constants,
+                            ShaderThreadState& state,
+                            const ImmediateSampler* sampler) const
+{
+    if (state.pc >= program.code.size())
+        panic("shader emulator: pc ", state.pc,
+              " past the end of a program of length ",
+              program.code.size());
+
+    const DecodedIns& ins = program.code[state.pc];
+
+    StepResult result;
+    result.latency = ins.latency;
+
+    if (ins.op == Opcode::END) {
+        result.outcome = StepOutcome::Done;
+        return result;
+    }
+
+    if (ins.isTexture) {
+        const Vec4 coord = readSrcD(ins.src[0], state, constants);
+        const f32 bias = ins.texBiased ? coord.w : 0.0f;
+        if (!sampler || !*sampler) {
+            result.outcome = StepOutcome::TexRequest;
+            result.texUnit = ins.texUnit;
+            result.texTarget = ins.texTarget;
+            result.texCoord = coord;
+            result.texLodBias = bias;
+            result.texProjected = ins.texProjected;
+            return result;
+        }
+        const Vec4 texel = (*sampler)(ins.texUnit, ins.texTarget,
+                                      coord, bias, ins.texProjected);
+        writeDstD(ins, state, texel);
+        ++state.pc;
+        result.outcome = StepOutcome::Continue;
+        return result;
+    }
+
+    if (ins.op == Opcode::KIL) {
+        const Vec4 a = readSrcD(ins.src[0], state, constants);
+        if (a.x < 0.0f || a.y < 0.0f || a.z < 0.0f || a.w < 0.0f) {
+            state.killed = true;
+            result.outcome = StepOutcome::Done;
+            return result;
+        }
+        ++state.pc;
+        result.outcome = StepOutcome::Continue;
+        return result;
+    }
+
+    const auto oneLane = [&](auto&& fn) { fn(state); };
+    execDecodedAlu(ins, constants, oneLane);
+    ++state.pc;
+    result.outcome = StepOutcome::Continue;
+    return result;
+}
+
+QuadStepResult
+ShaderEmulator::stepQuad(const DecodedProgram& program,
+                         const ConstantBank& constants,
+                         std::array<ShaderThreadState, 4>& lanes,
+                         std::array<bool, 4>& laneDone,
+                         const QuadSampler* sampler) const
+{
+    QuadStepResult result;
+
+    // Reference lane: the first live one (all live lanes share pc).
+    s32 ref = -1;
+    for (u32 l = 0; l < 4; ++l) {
+        if (!laneDone[l]) {
+            ref = static_cast<s32>(l);
+            break;
+        }
+    }
+    if (ref < 0) {
+        result.outcome = StepOutcome::Done;
+        return result;
+    }
+
+    const u32 pc = lanes[static_cast<u32>(ref)].pc;
+    if (pc >= program.code.size())
+        panic("shader emulator: pc ", pc,
+              " past the end of a program of length ",
+              program.code.size());
+    const DecodedIns& ins = program.code[pc];
+    result.latency = ins.latency;
+
+    if (ins.op == Opcode::END) {
+        for (u32 l = 0; l < 4; ++l)
+            laneDone[l] = true;
+        result.outcome = StepOutcome::Done;
+        return result;
+    }
+
+    if (ins.isTexture) {
+        if (!sampler || !*sampler) {
+            // Per-lane coordinate reads; the request fields take
+            // the last live lane's values, exactly as the per-lane
+            // request build loop overwrote them.
+            result.outcome = StepOutcome::TexRequest;
+            for (u32 l = 0; l < 4; ++l) {
+                if (laneDone[l])
+                    continue;
+                const Vec4 coord =
+                    readSrcD(ins.src[0], lanes[l], constants);
+                result.texUnit = ins.texUnit;
+                result.texTarget = ins.texTarget;
+                result.texCoords[l] = coord;
+                result.texLodBias =
+                    ins.texBiased ? coord.w : 0.0f;
+                result.texProjected = ins.texProjected;
+            }
+            return result;
+        }
+        // Inline quad access through the sampler: the *first* live
+        // lane supplies the shared bias, as the reference renderer's
+        // lockstep loop does.
+        std::array<Vec4, 4> coords{};
+        u8 live = 0;
+        f32 bias = 0.0f;
+        for (u32 l = 0; l < 4; ++l) {
+            if (laneDone[l])
+                continue;
+            coords[l] = readSrcD(ins.src[0], lanes[l], constants);
+            if (!live)
+                bias = ins.texBiased ? coords[l].w : 0.0f;
+            live |= static_cast<u8>(1u << l);
+        }
+        const std::array<Vec4, 4> texels =
+            (*sampler)(ins.texUnit, ins.texTarget, coords, live,
+                       bias, ins.texProjected);
+        completeTextureQuad(program, lanes, laneDone, texels);
+        result.outcome = StepOutcome::Continue;
+        return result;
+    }
+
+    if (ins.op == Opcode::KIL) {
+        bool allDone = true;
+        for (u32 l = 0; l < 4; ++l) {
+            if (laneDone[l])
+                continue;
+            const Vec4 a =
+                readSrcD(ins.src[0], lanes[l], constants);
+            if (a.x < 0.0f || a.y < 0.0f || a.z < 0.0f ||
+                a.w < 0.0f) {
+                lanes[l].killed = true;
+                laneDone[l] = true;
+            } else {
+                ++lanes[l].pc;
+                allDone = false;
+            }
+        }
+        result.outcome =
+            allDone ? StepOutcome::Done : StepOutcome::Continue;
+        return result;
+    }
+
+    const auto liveLanes = [&](auto&& fn) {
+        for (u32 l = 0; l < 4; ++l) {
+            if (!laneDone[l])
+                fn(lanes[l]);
+        }
+    };
+    execDecodedAlu(ins, constants, liveLanes);
+    for (u32 l = 0; l < 4; ++l) {
+        if (!laneDone[l])
+            ++lanes[l].pc;
+    }
+    result.outcome = StepOutcome::Continue;
+    return result;
+}
+
+void
+ShaderEmulator::completeTextureQuad(
+    const DecodedProgram& program,
+    std::array<ShaderThreadState, 4>& lanes,
+    const std::array<bool, 4>& laneDone,
+    const std::array<Vec4, 4>& texels) const
+{
+    for (u32 l = 0; l < 4; ++l) {
+        if (laneDone[l])
+            continue;
+        const DecodedIns& ins = program.code[lanes[l].pc];
+        if (!ins.isTexture)
+            panic("shader emulator: completeTextureQuad at a"
+                  " non-texture instruction");
+        writeDstD(ins, lanes[l], texels[l]);
+        ++lanes[l].pc;
+    }
+}
+
+bool
+ShaderEmulator::runDecoded(const DecodedProgram& program,
+                           const ConstantBank& constants,
+                           ShaderThreadState& state,
+                           const ImmediateSampler* sampler) const
+{
+    // Tight interpreter loop: the same readSrcD / writeDstD /
+    // execDecodedAlu calls in the same order as stepDecoded(), but
+    // without materialising a StepResult per instruction.  The
+    // stepping path stays the reference for the timing model; this
+    // loop is the run-to-completion fast path.
+    const DecodedIns* const code = program.code.data();
+    const u32 length = static_cast<u32>(program.code.size());
+    const auto oneLane = [&](auto&& fn) { fn(state); };
+    // Keep pc in a local: readSrcD/writeDstD only touch the register
+    // arrays, so nothing in the loop aliases it; it is synced back to
+    // state.pc at every exit the stepping path can observe.
+    u32 pc = state.pc;
+    for (u32 guard = 0; guard < 65536; ++guard) {
+        if (pc >= length)
+            panic("shader emulator: pc ", pc,
+                  " past the end of a program of length ", length);
+        const DecodedIns& ins = code[pc];
+        if (ins.op == Opcode::END) {
+            state.pc = pc;
+            return !state.killed;
+        }
+        if (ins.isTexture) {
+            if (!sampler || !*sampler)
+                panic("shader emulator: runDecoded() needs an"
+                      " immediate sampler for texture instructions");
+            const Vec4 coord =
+                readSrcD(ins.src[0], state, constants);
+            const f32 bias = ins.texBiased ? coord.w : 0.0f;
+            const Vec4 texel =
+                (*sampler)(ins.texUnit, ins.texTarget, coord, bias,
+                           ins.texProjected);
+            writeDstD(ins, state, texel);
+            ++pc;
+            continue;
+        }
+        if (ins.op == Opcode::KIL) {
+            const Vec4 a = readSrcD(ins.src[0], state, constants);
+            if (a.x < 0.0f || a.y < 0.0f || a.z < 0.0f ||
+                a.w < 0.0f) {
+                state.pc = pc;
+                state.killed = true;
+                return false;
+            }
+            ++pc;
+            continue;
+        }
+        execDecodedAlu(ins, constants, oneLane);
+        ++pc;
+    }
+    panic("shader emulator: program did not terminate");
+}
+
+void
+ShaderEmulator::runQuad(const DecodedProgram& program,
+                        const ConstantBank& constants,
+                        std::array<ShaderThreadState, 4>& lanes,
+                        std::array<bool, 4>& laneDone,
+                        std::array<bool, 4>& killed,
+                        const QuadSampler& sampler) const
+{
+    // Tight quad-lockstep loop: identical per-lane arithmetic and
+    // ordering to stepQuad() with an inline sampler, minus the
+    // per-instruction QuadStepResult and ref-lane rescans.
+    const DecodedIns* const code = program.code.data();
+    const u32 length = static_cast<u32>(program.code.size());
+    const auto liveLanes = [&](auto&& fn) {
+        for (u32 l = 0; l < 4; ++l) {
+            if (!laneDone[l])
+                fn(lanes[l]);
+        }
+    };
+    // Unrolled variant for the common all-lanes-live case (same lane
+    // order 0..3, so results match liveLanes bit for bit).
+    const auto allLanes = [&](auto&& fn) {
+        fn(lanes[0]);
+        fn(lanes[1]);
+        fn(lanes[2]);
+        fn(lanes[3]);
+    };
+    bool anyDone =
+        laneDone[0] || laneDone[1] || laneDone[2] || laneDone[3];
+    // Converged kernel: a program with no texture access and no KIL
+    // keeps all four lanes live and in lockstep until END, so the
+    // quad shares a single register-resident pc and runs without any
+    // divergence bookkeeping.  Lane order inside execDecodedAlu is
+    // the same 0..3, keeping results bit-identical to the general
+    // path below.
+    if (!program.hasTexture && !program.hasKil && !anyDone) {
+        u32 pc = lanes[0].pc;
+        for (u32 guard = 0; guard < 65536; ++guard) {
+            if (pc >= length)
+                panic("shader emulator: pc ", pc,
+                      " past the end of a program of length ",
+                      length);
+            const DecodedIns& ins = code[pc];
+            if (ins.op == Opcode::END) {
+                for (u32 l = 0; l < 4; ++l) {
+                    lanes[l].pc = pc;
+                    laneDone[l] = true;
+                    killed[l] = lanes[l].killed;
+                }
+                return;
+            }
+            execDecodedAlu(ins, constants, allLanes);
+            ++pc;
+        }
+        panic("shader emulator: fragment program did not"
+              " terminate");
+    }
+    for (u32 guard = 0; guard < 65536; ++guard) {
+        s32 ref = -1;
+        if (!anyDone) {
+            ref = 0;
+        } else {
+            for (u32 l = 0; l < 4; ++l) {
+                if (!laneDone[l]) {
+                    ref = static_cast<s32>(l);
+                    break;
+                }
+            }
+        }
+        if (ref < 0)
+            break;
+        const u32 pc = lanes[static_cast<u32>(ref)].pc;
+        if (pc >= length)
+            panic("shader emulator: pc ", pc,
+                  " past the end of a program of length ", length);
+        const DecodedIns& ins = code[pc];
+        if (ins.op == Opcode::END) {
+            for (u32 l = 0; l < 4; ++l)
+                laneDone[l] = true;
+            break;
+        }
+        if (ins.isTexture) {
+            if (!sampler)
+                panic("shader emulator: runQuad() needs a quad"
+                      " sampler for texture instructions");
+            // The *first* live lane supplies the shared bias, as
+            // the reference renderer's lockstep loop does.
+            std::array<Vec4, 4> coords{};
+            u8 live = 0;
+            f32 bias = 0.0f;
+            for (u32 l = 0; l < 4; ++l) {
+                if (laneDone[l])
+                    continue;
+                coords[l] =
+                    readSrcD(ins.src[0], lanes[l], constants);
+                if (!live)
+                    bias = ins.texBiased ? coords[l].w : 0.0f;
+                live |= static_cast<u8>(1u << l);
+            }
+            const std::array<Vec4, 4> texels =
+                sampler(ins.texUnit, ins.texTarget, coords, live,
+                        bias, ins.texProjected);
+            for (u32 l = 0; l < 4; ++l) {
+                if (laneDone[l])
+                    continue;
+                writeDstD(ins, lanes[l], texels[l]);
+                ++lanes[l].pc;
+            }
+            continue;
+        }
+        if (ins.op == Opcode::KIL) {
+            for (u32 l = 0; l < 4; ++l) {
+                if (laneDone[l])
+                    continue;
+                const Vec4 a =
+                    readSrcD(ins.src[0], lanes[l], constants);
+                if (a.x < 0.0f || a.y < 0.0f || a.z < 0.0f ||
+                    a.w < 0.0f) {
+                    lanes[l].killed = true;
+                    laneDone[l] = true;
+                    anyDone = true;
+                } else {
+                    ++lanes[l].pc;
+                }
+            }
+            continue;
+        }
+        if (anyDone) {
+            execDecodedAlu(ins, constants, liveLanes);
+            for (u32 l = 0; l < 4; ++l) {
+                if (!laneDone[l])
+                    ++lanes[l].pc;
+            }
+        } else {
+            execDecodedAlu(ins, constants, allLanes);
+            for (u32 l = 0; l < 4; ++l)
+                ++lanes[l].pc;
+        }
+        continue;
+    }
+    for (u32 l = 0; l < 4; ++l) {
+        if (!laneDone[l])
+            panic("shader emulator: fragment program did not"
+                  " terminate");
+        killed[l] = lanes[l].killed;
+    }
 }
 
 ConstantBank

@@ -17,13 +17,15 @@
 #define ATTILA_EMU_SHADER_EMULATOR_HH
 
 #include <array>
-#include <functional>
 
 #include "emu/shader_isa.hh"
 #include "emu/vector.hh"
+#include "sim/function_ref.hh"
 
 namespace attila::emu
 {
+
+struct DecodedProgram; // emu/decoded_program.hh
 
 /** Per-thread (per shader input) register state. */
 struct ShaderThreadState
@@ -52,10 +54,26 @@ using ConstantBank = std::array<Vec4, regix::numParamRegs>;
  * Callback used to resolve TEX/TXB/TXP instructions immediately
  * (functional paths).  Arguments: texture unit, target, coordinate
  * (TXP already projected, TXB bias in coordinate.w per ARB).
+ *
+ * Non-owning (sim::FunctionRef): bind it to a *named* callable that
+ * outlives every step()/run() call, never to a temporary lambda.
  */
 using ImmediateSampler =
-    std::function<Vec4(u32 unit, TexTarget target, const Vec4& coord,
-                       f32 lodBias, bool projected)>;
+    sim::FunctionRef<Vec4(u32 unit, TexTarget target,
+                          const Vec4& coord, f32 lodBias,
+                          bool projected)>;
+
+/**
+ * Quad-context sampler for the lockstep path: resolves one texture
+ * instruction for all four lanes at once.  @p coords holds the
+ * unprojected per-lane coordinates (inactive lanes keep their
+ * default value — they still shape the quad footprint, as in the
+ * per-lane path); @p liveMask bit l is set for lanes to sample.
+ * Same lifetime contract as ImmediateSampler.
+ */
+using QuadSampler = sim::FunctionRef<std::array<Vec4, 4>(
+    u32 unit, TexTarget target, const std::array<Vec4, 4>& coords,
+    u8 liveMask, f32 lodBias, bool projected)>;
 
 /** Outcome of executing one instruction. */
 enum class StepOutcome : u8
@@ -76,6 +94,21 @@ struct StepResult
     Vec4 texCoord;         ///< Post-swizzle source coordinate.
     f32 texLodBias = 0.0f; ///< TXB bias (coordinate.w).
     bool texProjected = false; ///< TXP: divide coords by q.
+};
+
+/** Result of ShaderEmulator::stepQuad(). */
+struct QuadStepResult
+{
+    /** Done means every lane of the quad has finished. */
+    StepOutcome outcome = StepOutcome::Continue;
+    u32 latency = 1;
+    // Valid when outcome == TexRequest (inactive lanes keep default
+    // coordinates, exactly as the per-lane request build does):
+    u32 texUnit = 0;
+    TexTarget texTarget = TexTarget::Tex2D;
+    std::array<Vec4, 4> texCoords{};
+    f32 texLodBias = 0.0f;
+    bool texProjected = false;
 };
 
 /**
@@ -116,6 +149,60 @@ class ShaderEmulator
     bool run(const ShaderProgram& program,
              const ConstantBank& constants, ShaderThreadState& state,
              const ImmediateSampler* sampler = nullptr) const;
+
+    // ---- Pre-decoded fast path (see emu/decoded_program.hh) ----
+    //
+    // The decoded interpreters execute the same arithmetic in the
+    // same per-lane order as step(); registers stay bit-identical
+    // between the two paths.
+
+    /** step() against a pre-decoded program (scalar reference for
+     * the decode cache alone, used by the micro benchmark). */
+    StepResult stepDecoded(const DecodedProgram& program,
+                           const ConstantBank& constants,
+                           ShaderThreadState& state,
+                           const ImmediateSampler* sampler =
+                               nullptr) const;
+
+    /**
+     * Execute one instruction for every live lane of a quad in
+     * lockstep.  Lane l is live when !laneDone[l]; END and KIL mark
+     * lanes done in place.  Without a @p sampler a texture
+     * instruction returns TexRequest and advances no pc (service it
+     * with completeTextureQuad()); with one, the whole quad's access
+     * resolves inline through a single sampler call.
+     */
+    QuadStepResult stepQuad(const DecodedProgram& program,
+                            const ConstantBank& constants,
+                            std::array<ShaderThreadState, 4>& lanes,
+                            std::array<bool, 4>& laneDone,
+                            const QuadSampler* sampler =
+                                nullptr) const;
+
+    /** Finish a pending quad texture access: write each live lane's
+     * texel and advance its pc. */
+    void completeTextureQuad(const DecodedProgram& program,
+                             std::array<ShaderThreadState, 4>& lanes,
+                             const std::array<bool, 4>& laneDone,
+                             const std::array<Vec4, 4>& texels) const;
+
+    /** run() against a pre-decoded program. */
+    bool runDecoded(const DecodedProgram& program,
+                    const ConstantBank& constants,
+                    ShaderThreadState& state,
+                    const ImmediateSampler* sampler = nullptr) const;
+
+    /**
+     * Run a quad to completion in lockstep; texture instructions
+     * resolve through @p sampler.  On return every lane is done and
+     * killed[l] reports the KIL outcomes.
+     */
+    void runQuad(const DecodedProgram& program,
+                 const ConstantBank& constants,
+                 std::array<ShaderThreadState, 4>& lanes,
+                 std::array<bool, 4>& laneDone,
+                 std::array<bool, 4>& killed,
+                 const QuadSampler& sampler) const;
 
     /** Build a constant bank from a program's literals (other slots
      * zero). */

@@ -118,6 +118,20 @@ struct SamplePlan
 };
 
 /**
+ * One decoded compressed block, memoized across the texel fetches of
+ * a sample or quad (bilinear corners land in the same 4x4 DXT block
+ * most of the time, and the per-texel decode dominates the fetch).
+ * Pure memoization: fetch results are bit-identical with or without
+ * a cache.
+ */
+struct TexBlockCache
+{
+    static constexpr u32 invalidAddress = ~0u;
+    u32 address = invalidAddress;
+    Vec4 texels[16];
+};
+
+/**
  * Texture sampling emulation.  Stateless; all inputs are explicit.
  */
 class TextureEmulator
@@ -150,10 +164,27 @@ class TextureEmulator
                                  u32 aniso = 1,
                                  const Vec4& majorAxis = Vec4());
 
-    /** Fetch and blend the texels of @p plan. */
+    /** Fetch and blend the texels of @p plan.  @p cache, when given,
+     * memoizes the last decoded DXT block (same texels, fewer
+     * decodes — share one across a quad's four plans). */
     static Vec4 executePlan(const TextureDescriptor& desc,
                             const SamplePlan& plan,
-                            const MemoryReader& mem);
+                            const MemoryReader& mem,
+                            TexBlockCache* cache = nullptr);
+
+    /**
+     * Plan + execute fused, without materializing a SamplePlan: the
+     * fast path for functional sampling.  Follows planSample()'s
+     * texel order and weight arithmetic exactly, so the result is
+     * bit-identical to executePlan(planSample(...)).  @p bilinearOps
+     * (when non-null) receives the same count planSample() reports.
+     */
+    static Vec4 samplePlanned(const TextureDescriptor& desc,
+                              const Vec4& coord, f32 lod, u32 aniso,
+                              const Vec4& majorAxis,
+                              const MemoryReader& mem,
+                              TexBlockCache* cache = nullptr,
+                              u32* bilinearOps = nullptr);
 
     /**
      * Full footprint analysis of a quad: anisotropy sample count,
@@ -181,6 +212,17 @@ class TextureEmulator
     sampleQuad(const TextureDescriptor& desc,
                const std::array<Vec4, 4>& coords, f32 lodBias,
                const MemoryReader& mem, u32* bilinearOps = nullptr);
+
+    /**
+     * sampleQuad() through the shared-footprint fast path: one
+     * footprint analysis, fused per-lane sampling and a decoded-block
+     * cache shared across the quad.  Bit-identical to sampleQuad().
+     */
+    static std::array<Vec4, 4>
+    sampleQuadFast(const TextureDescriptor& desc,
+                   const std::array<Vec4, 4>& coords, f32 lodBias,
+                   const MemoryReader& mem,
+                   u32* bilinearOps = nullptr);
 
     /** Decode one texel straight from memory (nearest, no filter). */
     static Vec4 fetchTexel(const TextureDescriptor& desc, u8 face,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "emu/decoded_program.hh"
+
 namespace attila::gpu
 {
 
@@ -43,6 +45,8 @@ applyEnvOverrides(GpuConfig config)
                   "': expected 0|1|false|true|off|on");
         }
     }
+    if (const auto fast = emu::envFastPathOverride())
+        config.emuFastPath = *fast;
     return config;
 }
 

@@ -142,6 +142,12 @@ struct GpuConfig
      * for debugging and A/B runs.  Overridable via
      * ATTILA_IDLE_SKIP=0|1. */
     bool idleSkip = true;
+    /** Pre-decoded shader programs + quad-lockstep emulation (and
+     * the shared-footprint texture sampling that rides on it).
+     * Bit-identical results either way; false restores the
+     * per-lane interpreter reference path for debugging and A/B
+     * runs.  Overridable via ATTILA_EMU_FASTPATH=0|1. */
+    bool emuFastPath = true;
     /** Cycles between drain polls once the command stream is
      * exhausted (the poll walks every box and signal, so it is too
      * expensive to run each cycle). */

@@ -111,8 +111,13 @@ RefRenderer::shadeVertex(u32 index)
     }
     if (!_state.vertexProgram)
         fatal("RefRenderer: draw without a vertex program");
-    _emulator.run(*_state.vertexProgram, _state.vertexConstants,
-                  thread);
+    if (_fastPath) {
+        _emulator.runDecoded(_decodeCache.get(_state.vertexProgram),
+                             _state.vertexConstants, thread);
+    } else {
+        _emulator.run(*_state.vertexProgram, _state.vertexConstants,
+                      thread);
+    }
     ShadedVertex out;
     out.out = thread.out;
     return out;
@@ -124,6 +129,49 @@ RefRenderer::shadeQuad(std::array<emu::ShaderThreadState, 4>& lanes,
 {
     const emu::ShaderProgram& prog = *_state.fragmentProgram;
     const emu::ConstantBank& consts = _state.fragmentConstants;
+
+    if (_fastPath) {
+        // Pre-decoded quad-lockstep path.  The sampler replicates the
+        // per-lane path below operation for operation (projection,
+        // shared footprint, per-lane sample) so registers stay
+        // bit-identical; the decoded-block cache is pure memoization.
+        auto quadSample =
+            [&](u32 unit, emu::TexTarget, const std::array<Vec4, 4>&
+                    rawCoords, u8 liveMask, f32 lodBias,
+                bool projected) -> std::array<Vec4, 4> {
+            std::array<Vec4, 4> coords = rawCoords;
+            if (projected) {
+                for (u32 l = 0; l < 4; ++l) {
+                    const f32 q =
+                        coords[l].w != 0.0f ? coords[l].w : 1.0f;
+                    coords[l] = {coords[l].x / q, coords[l].y / q,
+                                 coords[l].z / q, 1.0f};
+                }
+            }
+            const emu::TextureDescriptor& desc =
+                _state.textures[unit];
+            u32 aniso;
+            f32 lod;
+            Vec4 majorAxis;
+            TextureEmulator::quadFootprint(desc, coords, lodBias,
+                                           aniso, lod, majorAxis);
+            std::array<Vec4, 4> texels{};
+            emu::TexBlockCache blockCache;
+            for (u32 l = 0; l < 4; ++l) {
+                if (!(liveMask & (1u << l)))
+                    continue;
+                texels[l] = TextureEmulator::samplePlanned(
+                    desc, coords[l], lod, aniso, majorAxis, *_memory,
+                    &blockCache);
+            }
+            return texels;
+        };
+        const emu::QuadSampler sampler = quadSample;
+        std::array<bool, 4> laneDone{};
+        _emulator.runQuad(_decodeCache.get(_state.fragmentProgram),
+                          consts, lanes, laneDone, killed, sampler);
+        return;
+    }
 
     // Lockstep execution with quad-context texture sampling, exactly
     // as the shader units + texture units do it.

@@ -20,6 +20,7 @@
 
 #include <memory>
 
+#include "emu/decoded_program.hh"
 #include "emu/memory.hh"
 #include "emu/shader_emulator.hh"
 #include "gpu/commands.hh"
@@ -42,6 +43,12 @@ class RefRenderer
     const std::vector<FrameImage>& frames() const { return _frames; }
 
     emu::GpuMemory& memory() { return *_memory; }
+
+    /** Toggle the pre-decoded quad-lockstep fast path (bit-identical
+     * output either way; defaults to GpuConfig::emuFastPath's
+     * ATTILA_EMU_FASTPATH-aware default). */
+    void setFastPath(bool on) { _fastPath = on; }
+    bool fastPath() const { return _fastPath; }
 
   private:
     struct ShadedVertex
@@ -68,6 +75,10 @@ class RefRenderer
     RenderState _state;
     std::vector<FrameImage> _frames;
     emu::ShaderEmulator _emulator;
+    /** Pre-decoded program cache (fast path); mutable because
+     * shadeQuad() is const and decode-on-first-use is pure. */
+    mutable emu::DecodedProgramCache _decodeCache;
+    bool _fastPath = emu::emuFastPathDefault();
 };
 
 } // namespace attila::gpu

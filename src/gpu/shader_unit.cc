@@ -13,6 +13,7 @@ ShaderUnit::ShaderUnit(sim::SignalBinder& binder,
       _config(config),
       _unit(unit),
       _vertexOnly(vertex_only),
+      _fastPath(config.emuFastPath),
       _statInstructions(stat("instructions")),
       _statThreads(stat("threads")),
       _statTexRequests(stat("textureRequests")),
@@ -59,6 +60,8 @@ ShaderUnit::acceptWork(Cycle cycle)
         }
         if (!thread.program)
             panic("ShaderUnit", _unit, ": work without a program");
+        if (_fastPath)
+            thread.decoded = &_decodeCache.get(thread.program);
         for (u32 l = 0; l < 4; ++l) {
             thread.lanes[l].reset();
             thread.lanes[l].in = work->in[l];
@@ -88,20 +91,30 @@ ShaderUnit::handleTexResponses(Cycle cycle)
                         break;
                     }
                 }
-                const emu::Instruction& ins =
-                    thread.program->code[pc];
-                for (u32 l = 0; l < 4; ++l) {
-                    if (thread.laneDone[l])
-                        continue;
-                    _emulator.completeTexture(*thread.program,
-                                              thread.lanes[l],
-                                              resp->texels[l]);
+                s32 dstTemp = -1;
+                if (thread.decoded) {
+                    dstTemp = thread.decoded->code[pc].dstTempIndex;
+                    _emulator.completeTextureQuad(
+                        *thread.decoded, thread.lanes,
+                        thread.laneDone, resp->texels);
+                } else {
+                    const emu::Instruction& ins =
+                        thread.program->code[pc];
+                    if (ins.dst.bank == emu::Bank::Temp)
+                        dstTemp = ins.dst.index;
+                    for (u32 l = 0; l < 4; ++l) {
+                        if (thread.laneDone[l])
+                            continue;
+                        _emulator.completeTexture(*thread.program,
+                                                  thread.lanes[l],
+                                                  resp->texels[l]);
+                    }
                 }
                 // The texture result register becomes readable
                 // shortly after the response arrives.
-                if (ins.dst.bank == emu::Bank::Temp) {
-                    thread.tempReady[ins.dst.index] = cycle + 1;
-                }
+                if (dstTemp >= 0)
+                    thread.tempReady[static_cast<u32>(dstTemp)] =
+                        cycle + 1;
                 thread.waitingTexture = false;
                 found = true;
                 break;
@@ -127,6 +140,19 @@ ShaderUnit::dependenciesReady(const Thread& thread,
     }
     if (pc == ~0u)
         return true;
+    if (thread.decoded) {
+        const emu::DecodedIns& d = thread.decoded->code[pc];
+        for (u32 i = 0; i < d.numSrc; ++i) {
+            const emu::DecodedSrc& src = d.src[i];
+            if (!src.fromConstants &&
+                src.offset >= emu::decoded::tempBase &&
+                thread.tempReady[src.offset -
+                                 emu::decoded::tempBase] > cycle) {
+                return false;
+            }
+        }
+        return true;
+    }
     const emu::Instruction& ins = thread.program->code[pc];
     const emu::OpcodeInfo& info = emu::opcodeInfo(ins.op);
     for (u32 i = 0; i < info.numSrc; ++i) {
@@ -232,6 +258,61 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
         }
 
         const u32 pc = thread.lanes[ref].pc;
+
+        if (thread.decoded) {
+            // Pre-decoded quad-lockstep path: one dispatch per
+            // instruction instead of one per live lane.  Stats,
+            // latencies and the scoreboard update exactly as below.
+            const emu::DecodedIns& d = thread.decoded->code[pc];
+            if (d.isTexture) {
+                LinkTx& link = *_texReq[_tuNext % _texReq.size()];
+                if (!link.canSend(cycle))
+                    return; // No TU slot this cycle; retry.
+                const auto qs = _emulator.stepQuad(
+                    *thread.decoded, *thread.constants, thread.lanes,
+                    thread.laneDone);
+                if (qs.outcome != StepOutcome::TexRequest)
+                    panic("ShaderUnit", _unit,
+                          ": expected a texture request");
+                auto req = std::make_shared<TexRequest>();
+                req->shaderId = _unit;
+                req->threadTag = thread.work->entryId;
+                req->state = thread.work->state;
+                req->setInfo("tex");
+                req->copyTrailFrom(*thread.work);
+                for (u32 l = 0; l < 4; ++l) {
+                    req->active[l] = !thread.laneDone[l];
+                    if (!thread.laneDone[l])
+                        req->coords[l] = qs.texCoords[l];
+                }
+                req->textureUnit = qs.texUnit;
+                req->target = qs.texTarget;
+                req->lodBias = qs.texLodBias;
+                req->projected = qs.texProjected;
+                link.send(cycle, req);
+                _tuNext = (_tuNext + 1) %
+                          std::max<std::size_t>(1, _texReq.size());
+                thread.waitingTexture = true;
+                _statTexRequests.inc();
+                _statInstructions.inc();
+                return;
+            }
+
+            const auto qs = _emulator.stepQuad(
+                *thread.decoded, *thread.constants, thread.lanes,
+                thread.laneDone);
+            _statInstructions.inc();
+            if (d.dstTempIndex >= 0) {
+                thread.tempReady[static_cast<u32>(d.dstTempIndex)] =
+                    cycle + qs.latency;
+            }
+            if (qs.outcome == StepOutcome::Done) {
+                thread.finished = true;
+                return;
+            }
+            continue;
+        }
+
         const emu::Instruction& ins = thread.program->code[pc];
         const emu::OpcodeInfo& info = emu::opcodeInfo(ins.op);
 

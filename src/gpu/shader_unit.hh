@@ -20,6 +20,7 @@
 
 #include <list>
 
+#include "emu/decoded_program.hh"
 #include "emu/shader_emulator.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
@@ -68,6 +69,9 @@ class ShaderUnit : public sim::Box
         u64 order = 0; ///< Age (for in-order scheduling).
         ShaderWorkObjPtr work;
         emu::ShaderProgramPtr program;
+        /** Pre-decoded form (fast path only).  Stable: the cache
+         * entry pins the source program for its own lifetime. */
+        const emu::DecodedProgram* decoded = nullptr;
         const emu::ConstantBank* constants = nullptr;
         std::array<emu::ShaderThreadState, 4> lanes;
         std::array<bool, 4> laneDone{};
@@ -95,6 +99,8 @@ class ShaderUnit : public sim::Box
     std::vector<std::unique_ptr<LinkRx<TexRequest>>> _texResp;
 
     emu::ShaderEmulator _emulator;
+    emu::DecodedProgramCache _decodeCache;
+    const bool _fastPath;
     std::list<Thread> _threads;
     u64 _orderCounter = 0;
     u32 _rrNext = 0;

@@ -135,9 +135,14 @@ TextureUnit::process(Cycle cycle)
         const RenderState& state = *active.req->state;
         const emu::TextureDescriptor& desc =
             state.textures[active.req->textureUnit];
+        // Fast path: one decoded-block cache shared across the
+        // quad's four plans (pure memoization — identical texels).
+        emu::TexBlockCache blockCache;
+        emu::TexBlockCache* cache =
+            _config.emuFastPath ? &blockCache : nullptr;
         for (u32 l = 0; l < 4; ++l) {
             active.req->texels[l] = TextureEmulator::executePlan(
-                desc, active.plans[l], _memory);
+                desc, active.plans[l], _memory, cache);
         }
         _statBilinearOps.inc(active.bilinearOps);
         active.filtering = true;

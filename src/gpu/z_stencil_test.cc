@@ -116,12 +116,16 @@ ZStencilTest::ZStencilTest(sim::SignalBinder& binder,
               config.memoryRequestQueue);
 
     _backing.compressionEnabled = config.zCompression;
-    _backing.hzHook = [this](u32 tileIndex, f32 maxZ) {
-        auto upd = std::make_shared<HzUpdateObj>();
-        upd->tileIndex = tileIndex;
-        upd->maxZ = maxZ;
-        _hzQueue.push_back(std::move(upd));
-    };
+    _backing.hzHook = _hzEnqueue;
+}
+
+void
+ZStencilTest::HzEnqueue::operator()(u32 tileIndex, f32 maxZ) const
+{
+    auto upd = std::make_shared<HzUpdateObj>();
+    upd->tileIndex = tileIndex;
+    upd->maxZ = maxZ;
+    owner->_hzQueue.push_back(std::move(upd));
 }
 
 void

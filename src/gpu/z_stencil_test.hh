@@ -31,6 +31,7 @@
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
 #include "sim/box.hh"
+#include "sim/function_ref.hh"
 
 namespace attila::gpu
 {
@@ -43,8 +44,10 @@ class ZStencilBacking : public LineBacking
     u32 bufferBase = 0;
     u32 clearWord = 0;
     bool compressionEnabled = true;
-    /** Called with (tileIndex, maxDepth in [0,1]) on writeback. */
-    std::function<void(u32, f32)> hzHook;
+    /** Called with (tileIndex, maxDepth in [0,1]) on writeback.
+     * Non-owning: bind a named functor or member that outlives the
+     * backing, never a temporary lambda. */
+    sim::FunctionRef<void(u32, f32)> hzHook;
 
     u32
     blockOf(u32 lineAddr) const
@@ -130,6 +133,15 @@ class ZStencilTest : public sim::Box
     std::deque<Delayed> _delayInterp;
     std::deque<Delayed> _delayRopc;
     std::deque<std::shared_ptr<HzUpdateObj>> _hzQueue;
+
+    /** Persistent callable behind _backing.hzHook (the hook is a
+     * non-owning FunctionRef, so it must reference a member). */
+    struct HzEnqueue
+    {
+        ZStencilTest* owner;
+        void operator()(u32 tileIndex, f32 maxZ) const;
+    };
+    HzEnqueue _hzEnqueue{this};
 
     sim::Statistic& _statQuads;
     sim::Statistic& _statFragsTested;

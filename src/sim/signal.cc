@@ -16,8 +16,15 @@ Signal::Signal(std::string name, u32 bandwidth, u32 latency)
         fatal("signal '", _name, "': latency must be >= 1");
     // One slot per in-flight arrival cycle.  An object written at
     // cycle c arrives at c + latency, so at most latency + 1 distinct
-    // arrival cycles are live at once.
-    _slots.resize(_latency + 1);
+    // arrival cycles are live at once.  Rounded up to a power of two
+    // so the ring index on the per-cycle poll path is a mask instead
+    // of a division; each slot still validates its arrival cycle, so
+    // the extra slots are just never-hit ring positions.
+    std::size_t slots = 1;
+    while (slots < static_cast<std::size_t>(_latency) + 1)
+        slots <<= 1;
+    _slots.resize(slots);
+    _slotMask = slots - 1;
     for (auto& slot : _slots)
         slot.objects.reserve(_bandwidth);
 }
@@ -25,13 +32,13 @@ Signal::Signal(std::string name, u32 bandwidth, u32 latency)
 Signal::Slot&
 Signal::slotFor(Cycle arrival)
 {
-    return _slots[arrival % _slots.size()];
+    return _slots[arrival & _slotMask];
 }
 
 const Signal::Slot&
 Signal::slotFor(Cycle arrival) const
 {
-    return _slots[arrival % _slots.size()];
+    return _slots[arrival & _slotMask];
 }
 
 void
@@ -104,10 +111,8 @@ Signal::publish(Cycle cycle, DynamicObjectPtr obj)
 }
 
 void
-Signal::commit()
+Signal::commitPending()
 {
-    if (_pending.empty())
-        return;
     for (PendingWrite& p : _pending)
         publish(p.cycle, std::move(p.obj));
     _pending.clear();
@@ -122,49 +127,14 @@ Signal::setBuffered(bool buffered)
 }
 
 bool
-Signal::canWrite(Cycle cycle) const
+Signal::canWriteBuffered(Cycle cycle) const
 {
-    if (_buffered) {
-        u32 sameCycle = 0;
-        for (const PendingWrite& p : _pending) {
-            if (p.cycle == cycle)
-                ++sameCycle;
-        }
-        return sameCycle < _bandwidth;
+    u32 sameCycle = 0;
+    for (const PendingWrite& p : _pending) {
+        if (p.cycle == cycle)
+            ++sameCycle;
     }
-    const Cycle arrival = cycle + _latency;
-    const Slot& slot = slotFor(arrival);
-    if (slot.objects.empty() || slot.arrival != arrival)
-        return true;
-    return slot.objects.size() < _bandwidth;
-}
-
-DynamicObjectPtr
-Signal::read(Cycle cycle)
-{
-    Slot& slot = slotFor(cycle);
-    if (slot.objects.empty() || slot.arrival != cycle ||
-        slot.drained()) {
-        return nullptr;
-    }
-    DynamicObjectPtr obj = std::move(slot.objects[slot.readIndex]);
-    ++slot.readIndex;
-    --_live;
-    ++_totalReads;
-    if (slot.drained()) {
-        slot.objects.clear();
-        slot.readIndex = 0;
-    }
-    return obj;
-}
-
-u32
-Signal::pendingAt(Cycle cycle) const
-{
-    const Slot& slot = slotFor(cycle);
-    if (slot.objects.empty() || slot.arrival != cycle)
-        return 0;
-    return static_cast<u32>(slot.objects.size() - slot.readIndex);
+    return sameCycle < _bandwidth;
 }
 
 u64

@@ -69,16 +69,59 @@ class Signal
      * True when writing another object at @p cycle would not exceed
      * the signal bandwidth.
      */
-    bool canWrite(Cycle cycle) const;
+    bool
+    canWrite(Cycle cycle) const
+    {
+        if (_buffered)
+            return canWriteBuffered(cycle);
+        const Cycle arrival = cycle + _latency;
+        const Slot& slot = _slots[arrival & _slotMask];
+        if (slot.objects.empty() || slot.arrival != arrival)
+            return true;
+        return slot.objects.size() < _bandwidth;
+    }
 
     /**
      * Read one object arriving at @p cycle.  Returns nullptr when no
      * (more) objects arrive this cycle.
+     *
+     * Inline with a _live == 0 early-out: the link layer polls every
+     * input signal every cycle and the overwhelming majority of polls
+     * find an empty wire, so the common case must be a load and a
+     * branch, not an out-of-line call.
      */
-    DynamicObjectPtr read(Cycle cycle);
+    DynamicObjectPtr
+    read(Cycle cycle)
+    {
+        if (_live == 0)
+            return nullptr;
+        Slot& slot = _slots[cycle & _slotMask];
+        if (slot.objects.empty() || slot.arrival != cycle ||
+            slot.drained()) {
+            return nullptr;
+        }
+        DynamicObjectPtr obj = std::move(slot.objects[slot.readIndex]);
+        ++slot.readIndex;
+        --_live;
+        ++_totalReads;
+        if (slot.drained()) {
+            slot.objects.clear();
+            slot.readIndex = 0;
+        }
+        return obj;
+    }
 
     /** Number of unread objects arriving at @p cycle. */
-    u32 pendingAt(Cycle cycle) const;
+    u32
+    pendingAt(Cycle cycle) const
+    {
+        if (_live == 0)
+            return 0;
+        const Slot& slot = _slots[cycle & _slotMask];
+        if (slot.objects.empty() || slot.arrival != cycle)
+            return 0;
+        return static_cast<u32>(slot.objects.size() - slot.readIndex);
+    }
 
     /**
      * Enable or disable two-phase buffered writes.  Disabling
@@ -90,9 +133,16 @@ class Signal
     /**
      * Publish all writes staged since the last commit.  Called by the
      * writer box's propagate phase; only the writer's thread may call
-     * this.  Throws SimError on the data-loss check.
+     * this.  Throws SimError on the data-loss check.  Inline no-op
+     * when nothing is staged — the scheduler commits every output of
+     * every active box each cycle, and most have nothing pending.
      */
-    void commit();
+    void
+    commit()
+    {
+        if (!_pending.empty())
+            commitPending();
+    }
 
     /** Writes staged but not yet committed. */
     u32 pendingWrites() const
@@ -159,11 +209,20 @@ class Signal
     /** Publish one object (the pre-two-phase write body). */
     void publish(Cycle cycle, DynamicObjectPtr obj);
 
+    /** canWrite() when buffered: scans the staged writes. */
+    bool canWriteBuffered(Cycle cycle) const;
+
+    /** commit() slow path: publishes the staged writes. */
+    void commitPending();
+
     std::string _name;
     u32 _bandwidth;
     u32 _latency;
     bool _buffered = false;
     std::vector<Slot> _slots;
+    /** _slots.size() - 1; the slot count is rounded up to a power of
+     * two so the per-poll ring index is a mask, not a division. */
+    Cycle _slotMask = 0;
     std::vector<PendingWrite> _pending;
     SignalTraceWriter* _tracer = nullptr;
     Statistic* _writeStat = nullptr;

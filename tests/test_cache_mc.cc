@@ -354,7 +354,9 @@ TEST(FbCache, CompressedWritebackShrinksTraffic)
     backing.table.reset(64, BlockState::Cleared);
     backing.compressionEnabled = true;
     f32 hzMax = -1.0f;
-    backing.hzHook = [&](u32, f32 z) { hzMax = z; };
+    auto onHz = [&](u32, f32 z) { hzMax = z; };
+    backing.hzHook = onHz; // Non-owning: the lambda is named so it
+                           // outlives the writebacks below.
 
     FbCache cache("zc", FbCache::Config{16, 4, 256, 4, 4},
                   h.sim.stats().get("zc", "hits"),

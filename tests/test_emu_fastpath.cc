@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Fast-path identity tests: the pre-decoded scalar and quad-lockstep
+ * interpreters must be bit-identical to the legacy per-lane
+ * interpreter over the whole ISA (randomized programs covering every
+ * opcode, including TEX/TXB/TXP and partial KIL masks), the decode
+ * cache must reuse and invalidate entries by program identity, and
+ * full workloads must render identical frames and count identical
+ * cycles with the fast path on and off, under both schedulers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "emu/decoded_program.hh"
+#include "emu/shader_emulator.hh"
+#include "emu/shader_isa.hh"
+#include "gl/context.hh"
+#include "gpu/gpu.hh"
+#include "gpu/ref_renderer.hh"
+#include "workloads/cubes.hh"
+#include "workloads/shadows.hh"
+#include "workloads/terrain.hh"
+
+using namespace attila;
+using namespace attila::emu;
+
+namespace
+{
+
+/** Deterministic generator so failures reproduce exactly. */
+struct Lcg
+{
+    u64 state;
+
+    explicit Lcg(u64 seed) : state(seed * 0x9e3779b97f4a7c15ull + 1)
+    {}
+
+    u32
+    next(u32 bound)
+    {
+        state = state * 6364136223846793005ull +
+                1442695040888963407ull;
+        return static_cast<u32>(state >> 33) % bound;
+    }
+
+    f32
+    uniform(f32 lo, f32 hi)
+    {
+        const f32 t =
+            static_cast<f32>(next(0x1000000)) / 16777215.0f;
+        return lo + (hi - lo) * t;
+    }
+};
+
+/**
+ * A pure per-lane texture function shared by both sampler shapes.
+ * The quad sampler receives one shared lod bias (first live lane)
+ * while the legacy scalar path passes each lane's own bias, so the
+ * texel deliberately ignores the bias argument — projection, which
+ * both paths hand down unapplied, is applied identically per lane.
+ */
+Vec4
+texel(u32 unit, const Vec4& coord, bool projected)
+{
+    Vec4 c = coord;
+    if (projected) {
+        const f32 q = c.w != 0.0f ? c.w : 1.0f;
+        c = {c.x / q, c.y / q, c.z / q, c.w};
+    }
+    const f32 s =
+        std::sin(c.x * 3.0f + static_cast<f32>(unit) * 0.7f);
+    const f32 t = std::cos(c.y * 5.0f - c.z);
+    return {s * t, s + t, c.z * 0.5f, 1.0f};
+}
+
+SrcOperand
+randomSrc(Lcg& rng)
+{
+    SrcOperand src;
+    switch (rng.next(3)) {
+      case 0:
+        src.bank = Bank::Attrib;
+        src.index = static_cast<u8>(rng.next(regix::numInputRegs));
+        break;
+      case 1:
+        src.bank = Bank::Temp;
+        src.index = static_cast<u8>(rng.next(8));
+        break;
+      default:
+        src.bank = Bank::Param;
+        src.index = static_cast<u8>(rng.next(8));
+        break;
+    }
+    for (u32 c = 0; c < 4; ++c)
+        src.swizzle[c] = static_cast<u8>(rng.next(4));
+    src.negate = rng.next(2) != 0;
+    return src;
+}
+
+DstOperand
+randomDst(Lcg& rng)
+{
+    DstOperand dst;
+    dst.bank = rng.next(4) == 0 ? Bank::Output : Bank::Temp;
+    dst.index = static_cast<u8>(rng.next(8));
+    dst.writeMask = static_cast<u8>(1 + rng.next(15));
+    return dst;
+}
+
+/**
+ * Build a random fragment program.  The first pass emits every
+ * non-END opcode once (rotated per seed so each opcode also appears
+ * early, before any KIL can retire lanes); a second pass appends
+ * random extras.  Operands, swizzles, negates, saturates and write
+ * masks are all randomized.
+ */
+ShaderProgram
+makeRandomProgram(Lcg& rng)
+{
+    ShaderProgram prog;
+    prog.target = ShaderTarget::Fragment;
+
+    const u32 numOps = numOpcodes - 1; // All but END.
+    const u32 rotate = rng.next(numOps);
+    const u32 extras = 8 + rng.next(8);
+    for (u32 i = 0; i < numOps + extras; ++i) {
+        Opcode op;
+        if (i < numOps)
+            op = static_cast<Opcode>((i + rotate) % numOps);
+        else
+            op = static_cast<Opcode>(rng.next(numOps));
+        const OpcodeInfo& info = opcodeInfo(op);
+
+        Instruction ins;
+        ins.op = op;
+        for (u32 s = 0; s < info.numSrc; ++s)
+            ins.src[s] = randomSrc(rng);
+        if (info.hasDst) {
+            ins.dst = randomDst(rng);
+            ins.saturate = rng.next(2) != 0;
+        }
+        if (info.isTexture) {
+            ins.texUnit = static_cast<u8>(rng.next(4));
+            ins.texTarget = TexTarget::Tex2D;
+        }
+        if (op == Opcode::KIL) {
+            // A fully random KIL source kills almost every lane on
+            // the spot (any component < 0).  Bias it so partial
+            // quad kill masks actually occur.
+            ins.src[0].negate = false;
+            if (rng.next(2))
+                ins.src[0].bank = Bank::Param;
+        }
+        prog.code.push_back(ins);
+    }
+    Instruction end;
+    end.op = Opcode::END;
+    prog.code.push_back(end);
+
+    for (u32 slot = 0; slot < 8; ++slot) {
+        prog.literals.push_back(
+            {slot,
+             Vec4{rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+                  rng.uniform(-1.0f, 1.0f),
+                  rng.uniform(0.1f, 2.0f)}});
+    }
+    analyzeProgram(prog);
+    return prog;
+}
+
+std::array<ShaderThreadState, 4>
+randomQuad(Lcg& rng)
+{
+    std::array<ShaderThreadState, 4> quad;
+    for (auto& lane : quad) {
+        lane.reset();
+        for (u32 r = 0; r < regix::numInputRegs; ++r) {
+            lane.in[r] = {rng.uniform(-2.0f, 2.0f),
+                          rng.uniform(-2.0f, 2.0f),
+                          rng.uniform(-2.0f, 2.0f),
+                          rng.uniform(-2.0f, 2.0f)};
+        }
+    }
+    return quad;
+}
+
+void
+expectLaneEqual(const ShaderThreadState& a,
+                const ShaderThreadState& b, u32 seed, u32 lane)
+{
+    EXPECT_EQ(std::memcmp(a.in.data(), b.in.data(),
+                          sizeof(a.in)),
+              0)
+        << "seed " << seed << " lane " << lane << " inputs";
+    EXPECT_EQ(std::memcmp(a.out.data(), b.out.data(),
+                          sizeof(a.out)),
+              0)
+        << "seed " << seed << " lane " << lane << " outputs";
+    EXPECT_EQ(std::memcmp(a.temp.data(), b.temp.data(),
+                          sizeof(a.temp)),
+              0)
+        << "seed " << seed << " lane " << lane << " temps";
+    EXPECT_EQ(a.pc, b.pc) << "seed " << seed << " lane " << lane;
+    EXPECT_EQ(a.killed, b.killed)
+        << "seed " << seed << " lane " << lane;
+}
+
+TEST(EmuFastPath, RandomProgramsScalarVsQuadBitIdentical)
+{
+    ShaderEmulator emulator;
+
+    auto immediateFn = [](u32 unit, TexTarget, const Vec4& coord,
+                          f32, bool projected) {
+        return texel(unit, coord, projected);
+    };
+    const ImmediateSampler immediate = immediateFn;
+
+    auto quadFn = [](u32 unit, TexTarget,
+                     const std::array<Vec4, 4>& coords, u8 liveMask,
+                     f32, bool projected) {
+        std::array<Vec4, 4> texels{};
+        for (u32 l = 0; l < 4; ++l) {
+            if (liveMask & (1u << l))
+                texels[l] = texel(unit, coords[l], projected);
+        }
+        return texels;
+    };
+    const QuadSampler quadSampler = quadFn;
+
+    for (u32 seed = 0; seed < 48; ++seed) {
+        Lcg rng(seed);
+        const ShaderProgram prog = makeRandomProgram(rng);
+        const ConstantBank constants =
+            ShaderEmulator::makeConstants(prog);
+        const DecodedProgram decoded =
+            DecodedProgram::decode(prog);
+        const std::array<ShaderThreadState, 4> quad =
+            randomQuad(rng);
+
+        // Reference: the legacy per-lane interpreter.
+        std::array<ShaderThreadState, 4> scalarLanes = quad;
+        std::array<bool, 4> scalarKilled{};
+        for (u32 l = 0; l < 4; ++l) {
+            scalarKilled[l] = !emulator.run(prog, constants,
+                                            scalarLanes[l],
+                                            &immediate);
+        }
+
+        // Pre-decoded scalar interpreter.
+        std::array<ShaderThreadState, 4> decodedLanes = quad;
+        for (u32 l = 0; l < 4; ++l) {
+            const bool alive = emulator.runDecoded(
+                decoded, constants, decodedLanes[l], &immediate);
+            EXPECT_EQ(alive, !scalarKilled[l])
+                << "seed " << seed << " lane " << l;
+        }
+
+        // Quad-lockstep interpreter.
+        std::array<ShaderThreadState, 4> quadLanes = quad;
+        std::array<bool, 4> laneDone{};
+        std::array<bool, 4> quadKilled{};
+        emulator.runQuad(decoded, constants, quadLanes, laneDone,
+                         quadKilled, quadSampler);
+
+        for (u32 l = 0; l < 4; ++l) {
+            expectLaneEqual(scalarLanes[l], decodedLanes[l], seed,
+                            l);
+            expectLaneEqual(scalarLanes[l], quadLanes[l], seed, l);
+            EXPECT_EQ(quadKilled[l], scalarKilled[l])
+                << "seed " << seed << " lane " << l;
+            EXPECT_TRUE(laneDone[l])
+                << "seed " << seed << " lane " << l;
+        }
+    }
+}
+
+TEST(EmuFastPath, DecodeCacheReusesAndInvalidatesByIdentity)
+{
+    ShaderAssembler assembler;
+    const ShaderProgramPtr first = assembler.assemble(
+        "!!ARBfp1.0\n"
+        "TEMP t;\n"
+        "MUL t, fragment.color, fragment.texcoord[0];\n"
+        "ADD_SAT result.color, t, fragment.color;\n"
+        "END\n");
+
+    DecodedProgramCache cache;
+    const DecodedProgram& decodedFirst = cache.get(first);
+    EXPECT_EQ(decodedFirst.code.size(), first->code.size());
+
+    // Same program object: the cached entry is returned, not a
+    // fresh decode.
+    EXPECT_EQ(&cache.get(first), &decodedFirst);
+
+    // Re-upload: a new program object must get its own decode even
+    // while the old one is alive.
+    const ShaderProgramPtr second = assembler.assemble(
+        "!!ARBfp1.0\n"
+        "TEMP t;\n"
+        "SUB t, fragment.color, fragment.texcoord[1];\n"
+        "KIL t;\n"
+        "MOV result.color, t;\n"
+        "END\n");
+    const DecodedProgram& decodedSecond = cache.get(second);
+    EXPECT_NE(&decodedSecond, &decodedFirst);
+    EXPECT_EQ(decodedSecond.code.size(), second->code.size());
+    EXPECT_TRUE(decodedSecond.hasKil);
+    EXPECT_FALSE(decodedFirst.hasKil);
+
+    // The first entry survives the second's insertion (node
+    // stability): the reference still reads valid decoded state.
+    EXPECT_EQ(&cache.get(first), &decodedFirst);
+    EXPECT_EQ(decodedFirst.code.back().op, Opcode::END);
+}
+
+// ---- Workload-level on/off identity ------------------------------
+
+gpu::CommandList
+buildCommands(workloads::Workload& workload,
+              const workloads::WorkloadParams& params)
+{
+    gl::Context ctx(params.width, params.height, 32u << 20);
+    workload.setup(ctx);
+    for (u32 f = 0; f < params.frames; ++f)
+        workload.renderFrame(ctx, f);
+    return ctx.takeCommands();
+}
+
+workloads::WorkloadParams
+smallParams()
+{
+    workloads::WorkloadParams params;
+    params.width = 96;
+    params.height = 96;
+    params.frames = 1;
+    params.textureSize = 32;
+    params.detail = 4;
+    return params;
+}
+
+u64
+framebufferHash(const gpu::Gpu& gpu)
+{
+    u64 h = 14695981039346656037ull;
+    for (const gpu::FrameImage& frame : gpu.frames()) {
+        for (u32 px : frame.pixels) {
+            h ^= px;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+struct RunFingerprint
+{
+    u64 cycles = 0;
+    u64 fbHash = 0;
+    std::size_t frames = 0;
+    std::string totalsCsv;
+};
+
+RunFingerprint
+runGpu(const gpu::CommandList& list, bool fastPath,
+       gpu::SchedulerKind kind, u32 threads)
+{
+    unsetenv("ATTILA_EMU_FASTPATH");
+    gpu::GpuConfig config = gpu::GpuConfig::baseline();
+    config.memorySize = 32u << 20;
+    config.emuFastPath = fastPath;
+    config.scheduler = kind;
+    config.schedulerThreads = threads;
+
+    gpu::Gpu gpu(config);
+    gpu.submit(list);
+    EXPECT_TRUE(gpu.runUntilIdle(200'000'000))
+        << "pipeline did not drain";
+
+    RunFingerprint fp;
+    fp.cycles = gpu.cycle();
+    fp.fbHash = framebufferHash(gpu);
+    fp.frames = gpu.frames().size();
+    std::ostringstream totals;
+    gpu.stats().writeTotalsCsv(totals);
+    fp.totalsCsv = totals.str();
+    return fp;
+}
+
+void
+expectOnOffIdentical(workloads::Workload& workload,
+                     const workloads::WorkloadParams& params,
+                     const char* label)
+{
+    const gpu::CommandList list = buildCommands(workload, params);
+
+    const RunFingerprint on =
+        runGpu(list, true, gpu::SchedulerKind::Serial, 0);
+    const RunFingerprint off =
+        runGpu(list, false, gpu::SchedulerKind::Serial, 0);
+    ASSERT_GT(on.cycles, 0u) << label;
+    EXPECT_EQ(on.cycles, off.cycles) << label;
+    EXPECT_EQ(on.frames, off.frames) << label;
+    EXPECT_EQ(on.fbHash, off.fbHash) << label;
+    EXPECT_EQ(on.totalsCsv, off.totalsCsv) << label;
+
+    // The reference renderer also honors the toggle.
+    gpu::RefRenderer refOn(32u << 20);
+    refOn.setFastPath(true);
+    refOn.execute(list);
+    gpu::RefRenderer refOff(32u << 20);
+    refOff.setFastPath(false);
+    refOff.execute(list);
+    ASSERT_EQ(refOn.frames().size(), params.frames) << label;
+    for (u32 f = 0; f < params.frames; ++f) {
+        EXPECT_EQ(refOn.frames()[f].diffCount(refOff.frames()[f]),
+                  0u)
+            << label << " frame " << f;
+    }
+}
+
+TEST(EmuFastPath, TerrainOnOffIdentical)
+{
+    workloads::WorkloadParams params = smallParams();
+    workloads::TerrainWorkload workload(params);
+    expectOnOffIdentical(workload, params, "terrain");
+}
+
+TEST(EmuFastPath, ShadowsOnOffIdentical)
+{
+    workloads::WorkloadParams params = smallParams();
+    workloads::ShadowsWorkload workload(params);
+    expectOnOffIdentical(workload, params, "shadows");
+}
+
+TEST(EmuFastPath, CubesOnOffIdentical)
+{
+    workloads::WorkloadParams params = smallParams();
+    workloads::CubesWorkload workload(params);
+    expectOnOffIdentical(workload, params, "cubes");
+}
+
+TEST(EmuFastPath, ParallelSchedulerOnOffIdentical)
+{
+    workloads::WorkloadParams params = smallParams();
+    workloads::TerrainWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+
+    const RunFingerprint serialOn =
+        runGpu(list, true, gpu::SchedulerKind::Serial, 0);
+    const RunFingerprint parOn =
+        runGpu(list, true, gpu::SchedulerKind::Parallel, 2);
+    const RunFingerprint parOff =
+        runGpu(list, false, gpu::SchedulerKind::Parallel, 2);
+
+    EXPECT_EQ(parOn.cycles, serialOn.cycles);
+    EXPECT_EQ(parOn.fbHash, serialOn.fbHash);
+    EXPECT_EQ(parOn.totalsCsv, serialOn.totalsCsv);
+    EXPECT_EQ(parOn.cycles, parOff.cycles);
+    EXPECT_EQ(parOn.fbHash, parOff.fbHash);
+    EXPECT_EQ(parOn.totalsCsv, parOff.totalsCsv);
+}
+
+} // anonymous namespace

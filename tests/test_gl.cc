@@ -110,10 +110,11 @@ TEST(FixedFunction, ModulateSemantics)
     state.in[emu::regix::ioColor] = {0.5f, 1.0f, 0.25f, 1.0f};
     emu::ConstantBank constants =
         emu::ShaderEmulator::makeConstants(*prog);
-    emu::ImmediateSampler sampler =
+    auto samplerFn =
         [](u32, emu::TexTarget, const emu::Vec4&, f32, bool) {
             return emu::Vec4{1.0f, 0.5f, 1.0f, 0.5f};
         };
+    emu::ImmediateSampler sampler = samplerFn;
     ASSERT_TRUE(emulator.run(*prog, constants, state, &sampler));
     const emu::Vec4 out = state.out[emu::regix::foutColor];
     EXPECT_FLOAT_EQ(out.x, 0.5f);

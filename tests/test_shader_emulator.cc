@@ -243,7 +243,7 @@ END
     state.in[regix::ioTexCoordBase] = {0.1f, 0.2f, 0.0f, 2.5f};
     ConstantBank constants{};
     bool sawBias = false;
-    ImmediateSampler sampler =
+    auto samplerFn =
         [&](u32 unit, TexTarget target, const Vec4& coord, f32 bias,
             bool projected) -> Vec4 {
         EXPECT_EQ(unit, 0u);
@@ -254,6 +254,7 @@ END
         sawBias = true;
         return {1, 2, 3, 4};
     };
+    ImmediateSampler sampler = samplerFn;
     EXPECT_TRUE(emulator.run(*prog, constants, state, &sampler));
     EXPECT_TRUE(sawBias);
     EXPECT_EQ(state.out[regix::foutColor], Vec4(1, 2, 3, 4));

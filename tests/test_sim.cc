@@ -92,8 +92,9 @@ TEST(Signal, DetectsDataLoss)
     Signal sig("s", 1, 2);
     sig.write(0, makeObj());
     // Never read; writing the slot again a full lap later must
-    // detect the lost object.
-    EXPECT_THROW(sig.write(3, makeObj()), SimError);
+    // detect the lost object.  The ring is rounded up to a power of
+    // two (4 slots for latency 2), so the lap is 4 cycles.
+    EXPECT_THROW(sig.write(4, makeObj()), SimError);
 }
 
 TEST(Signal, MultipleObjectsSameCycleFifo)
@@ -341,14 +342,14 @@ TEST(SignalBuffered, DataLossDiagnosticMatchesImmediateMode)
     const std::string immediate = simErrorMessage([] {
         Signal sig("s", 1, 2);
         sig.write(0, makeObj());
-        sig.write(3, makeObj()); // Same slot, never read.
+        sig.write(4, makeObj()); // Same slot one lap on, never read.
     });
     const std::string buffered = simErrorMessage([] {
         Signal sig("s", 1, 2);
         sig.setBuffered(true);
         sig.write(0, makeObj());
         sig.commit();
-        sig.write(3, makeObj());
+        sig.write(4, makeObj());
         sig.commit(); // Loss detected when the write publishes.
     });
     EXPECT_FALSE(immediate.empty());
