@@ -49,6 +49,7 @@ struct BenchOptions
     std::optional<u32> threads;
     std::optional<bool> idleSkip;
     std::optional<bool> emuFastPath;
+    std::optional<bool> memFastPath;
 };
 
 inline BenchOptions&
@@ -72,7 +73,7 @@ parseArgs(int& argc, char** argv)
         std::cerr << "error: bad bench flag '" << arg << "'\n"
                   << "usage: --scheduler=serial|parallel "
                      "--threads=N --idle-skip=0|1 "
-                     "--emu-fastpath=0|1\n";
+                     "--emu-fastpath=0|1 --mem-fastpath=0|1\n";
         std::exit(2);
     };
     int out = 1;
@@ -109,6 +110,14 @@ parseArgs(int& argc, char** argv)
                 options().emuFastPath = false;
             else
                 bad(arg);
+        } else if (arg.rfind("--mem-fastpath=", 0) == 0) {
+            const std::string v = arg.substr(15);
+            if (v == "1" || v == "true" || v == "on")
+                options().memFastPath = true;
+            else if (v == "0" || v == "false" || v == "off")
+                options().memFastPath = false;
+            else
+                bad(arg);
         } else {
             argv[out++] = argv[i];
         }
@@ -128,6 +137,8 @@ applyOptions(gpu::GpuConfig& config)
         config.idleSkip = *options().idleSkip;
     if (options().emuFastPath)
         config.emuFastPath = *options().emuFastPath;
+    if (options().memFastPath)
+        config.memFastPath = *options().memFastPath;
 }
 
 /** Outcome of one simulated run. */
@@ -215,7 +226,28 @@ emitJson(const std::string& label, const RunResult& result)
               << "\",\"threads\":" << c.schedulerThreads
               << ",\"idle_skip\":" << (c.idleSkip ? "true" : "false")
               << ",\"emu_fastpath\":"
-              << (c.emuFastPath ? "true" : "false") << "}\n"
+              << (c.emuFastPath ? "true" : "false")
+              << ",\"mem_fastpath\":"
+              << (c.memFastPath ? "true" : "false") << "}\n"
+              << std::defaultfloat;
+}
+
+/** Supplementary machine-readable line carrying a cache's hit/miss
+ * counters alongside the run's wall-clock speed, so the CI A/B can
+ * assert identical cache behaviour as well as identical cycles. */
+inline void
+emitCacheJson(const std::string& label, const RunResult& result,
+              u64 hits, u64 misses)
+{
+    const f64 rate =
+        hits + misses ? static_cast<f64>(hits) * 100.0 /
+                            static_cast<f64>(hits + misses)
+                      : 0.0;
+    std::cout << "BENCH_JSON {\"bench\":\"" << benchName()
+              << "\",\"label\":\"" << label << "\",\"hits\":" << hits
+              << ",\"misses\":" << misses << ",\"hit_rate\":"
+              << std::fixed << std::setprecision(3) << rate
+              << ",\"khz\":" << result.simKHz() << "}\n"
               << std::defaultfloat;
 }
 

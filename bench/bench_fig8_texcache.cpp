@@ -65,6 +65,8 @@ main(int argc, char** argv)
                   << misses << std::setw(12) << rateStr.str()
                   << std::setw(16) << bytes
                   << bytes / params.frames << "\n";
+        emitCacheJson("texcache_tus" + std::to_string(tus), result,
+                      hits, misses);
         if (tus == 3)
             keepFor10k = std::move(result.gpu);
     }

@@ -86,6 +86,9 @@ main(int argc, char** argv)
         texBytes += result.stat("MemoryController.mc.texcache" +
                                 std::to_string(t) + ".bytes");
     }
+    emitCacheJson("texture", result, texHits, texMisses);
+    emitCacheJson("z", result, zHits, zMisses);
+    emitCacheJson("color", result, cHits, cMisses);
     std::cout << "  memory traffic: z " << zBytes << " B, color "
               << colorBytes << " B, texture " << texBytes << " B\n";
     std::cout << "  (z traffic benefits from 1:2 / 1:4 lossless"

@@ -1,6 +1,7 @@
 #include "gpu/cache.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace attila::gpu
 {
@@ -20,32 +21,56 @@ FbCache::FbCache(std::string name, const Config& config,
         fatal("cache '", _name, "': bad geometry (", lines,
               " lines, ", _config.ways, " ways)");
     }
+    if (_config.maxOutstanding == 0 || _config.maxOutstanding > 32) {
+        fatal("cache '", _name, "': maxOutstanding ",
+              _config.maxOutstanding, " outside [1, 32]");
+    }
     _sets = lines / _config.ways;
-    _lines.resize(lines);
-    for (Line& line : _lines)
-        line.data.resize(_config.lineBytes, 0);
+    _lineCount = lines;
+
+    _pow2 = std::has_single_bit(_config.lineBytes) &&
+            std::has_single_bit(_sets);
+    if (_pow2) {
+        _lineMask = _config.lineBytes - 1;
+        _lineShift =
+            static_cast<u32>(std::countr_zero(_config.lineBytes));
+        _setMask = _sets - 1;
+    }
+
+    _state.assign(lines, LineState::Invalid);
+    _dirty.assign(lines, 0);
+    _addr.assign(lines, 0);
+    _lastUse.assign(lines, 0);
+    _arena.assign(static_cast<std::size_t>(lines) *
+                      _config.lineBytes,
+                  0);
+
+    _slots.resize(_config.maxOutstanding);
+    _freeSlots = _config.maxOutstanding == 32
+                     ? ~0u
+                     : (1u << _config.maxOutstanding) - 1;
+    const u32 ordCap = std::bit_ceil(_config.maxOutstanding);
+    _order.assign(ordCap, 0);
+    _ordMask = ordCap - 1;
+
     _backing->setLineBytes(_config.lineBytes);
     _defaultBacking.setLineBytes(_config.lineBytes);
+    _hits.setImmediate(!_config.fastPath);
+    _misses.setImmediate(!_config.fastPath);
 }
 
-u32
-FbCache::setOf(u32 lineAddr) const
-{
-    return (lineAddr / _config.lineBytes) % _sets;
-}
-
-FbCache::Line*
+s32
 FbCache::findLine(u32 lineAddr)
 {
-    const u32 set = setOf(lineAddr);
+    const u32 base = setOf(lineAddr) * _config.ways;
     for (u32 w = 0; w < _config.ways; ++w) {
-        Line& line = _lines[set * _config.ways + w];
-        if (line.state != LineState::Invalid &&
-            line.addr == lineAddr) {
-            return &line;
+        const u32 idx = base + w;
+        if (_state[idx] != LineState::Invalid &&
+            _addr[idx] == lineAddr) {
+            return static_cast<s32>(idx);
         }
     }
-    return nullptr;
+    return -1;
 }
 
 s32
@@ -55,27 +80,65 @@ FbCache::pickVictim(u32 set)
     u64 bestUse = ~0ull;
     for (u32 w = 0; w < _config.ways; ++w) {
         const u32 idx = set * _config.ways + w;
-        const Line& line = _lines[idx];
-        if (line.state == LineState::Filling)
+        if (_state[idx] == LineState::Filling)
             continue;
-        if (line.state == LineState::Invalid)
+        if (_state[idx] == LineState::Invalid)
             return static_cast<s32>(idx);
-        if (line.lastUse < bestUse) {
-            bestUse = line.lastUse;
+        if (_lastUse[idx] < bestUse) {
+            bestUse = _lastUse[idx];
             best = static_cast<s32>(idx);
         }
     }
     return best;
 }
 
-bool
-FbCache::fillPendingFor(u32 lineAddr) const
+MemTransactionPtr
+FbCache::makeTransaction()
 {
-    for (const PendingFill& fill : _fills) {
-        if (fill.addr == lineAddr)
-            return true;
+    if (_config.fastPath)
+        return _txnPool.acquire();
+    return std::make_shared<MemTransaction>();
+}
+
+u8
+FbCache::allocFillSlot()
+{
+    const u32 slot =
+        static_cast<u32>(std::countr_zero(_freeSlots));
+    _freeSlots &= _freeSlots - 1;
+    return static_cast<u8>(slot);
+}
+
+void
+FbCache::removeFillAt(u32 orderPos)
+{
+    for (u32 j = orderPos; j + 1 < _ordCount; ++j) {
+        _order[(_ordHead + j) & _ordMask] =
+            _order[(_ordHead + j + 1) & _ordMask];
     }
-    return false;
+    --_ordCount;
+}
+
+void
+FbCache::queueWriteback(Cycle, u32 lineIndex)
+{
+    // Encode straight into the transaction's (pooled) payload; an
+    // intermediate staging buffer would copy the line twice.
+    MemTransactionPtr txn = makeTransaction();
+    txn->isRead = false;
+    txn->address = _addr[lineIndex];
+    txn->data.resize(_config.lineBytes);
+    const u32 size = _backing->writeback(
+        _addr[lineIndex], lineData(lineIndex), txn->data.data());
+    txn->data.resize(size);
+    txn->size = size;
+    txn->tag = (static_cast<u64>(_addr[lineIndex]) << 1) | 1;
+
+    WbEntry entry;
+    entry.addr = _addr[lineIndex];
+    entry.txn = std::move(txn);
+    _writebacks.push_back(std::move(entry));
+    ++_wbLive;
 }
 
 CacheAccess
@@ -88,51 +151,50 @@ FbCache::access(Cycle cycle, u32 addr, bool forWrite)
     if (_accessesThisCycle >= _config.ports)
         return CacheAccess::Blocked;
 
-    const u32 lineAddr = addr - addr % _config.lineBytes;
-    if (Line* line = findLine(lineAddr)) {
-        if (line->state == LineState::Filling)
+    const u32 lineAddr = lineAddrOf(addr);
+    const s32 idx = findLine(lineAddr);
+    if (idx >= 0) {
+        if (_state[idx] == LineState::Filling)
             return CacheAccess::Miss; // Fill under way.
         ++_accessesThisCycle;
-        line->lastUse = ++_useCounter;
+        _lastUse[idx] = ++_useCounter;
         if (forWrite)
-            line->dirty = true;
+            _dirty[idx] = 1;
         _hits.inc();
         return CacheAccess::Hit;
     }
 
-    if (fillPendingFor(lineAddr))
-        return CacheAccess::Miss;
+    // No separate pending-fill search is needed: a live fill keeps
+    // its line in Filling state with this address, so findLine()
+    // above already reported it as a Miss.  (Cancelled fills have
+    // no line and must not satisfy a fresh access.)
 
-    if (_fills.size() >= _config.maxOutstanding)
-        return CacheAccess::Blocked;
+    if (_freeSlots == 0)
+        return CacheAccess::Blocked; // maxOutstanding reached.
 
     const u32 set = setOf(lineAddr);
     const s32 victimIdx = pickVictim(set);
     if (victimIdx < 0)
         return CacheAccess::Blocked;
 
-    Line& victim = _lines[victimIdx];
-    if (victim.state == LineState::Valid && victim.dirty) {
-        PendingWriteback wb;
-        wb.addr = victim.addr;
-        wb.bytes.resize(_config.lineBytes);
-        const u32 size = _backing->writeback(victim.addr,
-                                             victim.data.data(),
-                                             wb.bytes.data());
-        wb.bytes.resize(size);
-        _writebacks.push_back(std::move(wb));
-    }
+    const u32 victim = static_cast<u32>(victimIdx);
+    if (_state[victim] == LineState::Valid && _dirty[victim])
+        queueWriteback(cycle, victim);
 
-    victim.state = LineState::Filling;
-    victim.dirty = false;
-    victim.addr = lineAddr;
-    victim.lastUse = ++_useCounter;
+    _state[victim] = LineState::Filling;
+    _dirty[victim] = 0;
+    _addr[victim] = lineAddr;
+    _lastUse[victim] = ++_useCounter;
 
-    PendingFill fill;
-    fill.lineIndex = static_cast<u32>(victimIdx);
-    fill.addr = lineAddr;
-    fill.localOnly = _backing->fillSize(lineAddr) == 0;
-    _fills.push_back(fill);
+    const u8 slotIdx = allocFillSlot();
+    FillSlot& slot = _slots[slotIdx];
+    slot.addr = lineAddr;
+    slot.lineIndex = victim;
+    slot.localOnly = _backing->fillSize(lineAddr) == 0;
+    slot.issued = false;
+    slot.cancelled = false;
+    _order[(_ordHead + _ordCount) & _ordMask] = slotIdx;
+    ++_ordCount;
     _misses.inc();
     return CacheAccess::Miss;
 }
@@ -140,114 +202,142 @@ FbCache::access(Cycle cycle, u32 addr, bool forWrite)
 u8*
 FbCache::wordPtr(u32 addr)
 {
-    const u32 lineAddr = addr - addr % _config.lineBytes;
-    Line* line = findLine(lineAddr);
-    if (!line || line->state != LineState::Valid)
+    const u32 lineAddr = lineAddrOf(addr);
+    const s32 idx = findLine(lineAddr);
+    if (idx < 0 || _state[idx] != LineState::Valid)
         panic("cache '", _name, "': wordPtr on a non-resident line");
-    return line->data.data() + (addr - lineAddr);
+    return lineData(static_cast<u32>(idx)) + (addr - lineAddr);
 }
 
 void
 FbCache::markDirty(u32 addr)
 {
-    const u32 lineAddr = addr - addr % _config.lineBytes;
-    Line* line = findLine(lineAddr);
-    if (!line || line->state != LineState::Valid)
+    const u32 lineAddr = lineAddrOf(addr);
+    const s32 idx = findLine(lineAddr);
+    if (idx < 0 || _state[idx] != LineState::Valid)
         panic("cache '", _name,
               "': markDirty on a non-resident line");
-    line->dirty = true;
+    _dirty[idx] = 1;
 }
 
 void
 FbCache::clock(Cycle cycle, MemPort& port, MemClient client)
 {
-    // Service local (no memory traffic) fills immediately.
-    for (auto it = _fills.begin(); it != _fills.end();) {
-        if (it->localOnly) {
-            Line& line = _lines[it->lineIndex];
-            _backing->fillLocal(it->addr, line.data.data());
-            line.state = LineState::Valid;
-            it = _fills.erase(it);
-        } else {
-            ++it;
+    // Service local (no memory traffic) fills immediately,
+    // compacting the issue-order ring in place.
+    if (_ordCount != 0) {
+        const u32 n = _ordCount;
+        u32 kept = 0;
+        for (u32 i = 0; i < n; ++i) {
+            const u8 slotIdx = _order[(_ordHead + i) & _ordMask];
+            FillSlot& slot = _slots[slotIdx];
+            if (slot.localOnly && !slot.issued) {
+                _backing->fillLocal(slot.addr,
+                                    lineData(slot.lineIndex));
+                _state[slot.lineIndex] = LineState::Valid;
+                _freeSlots |= 1u << slotIdx;
+            } else {
+                _order[(_ordHead + kept) & _ordMask] = slotIdx;
+                ++kept;
+            }
         }
+        _ordCount = kept;
     }
 
     // Issue writebacks first (they free memory ordering hazards:
     // a fill of the same line must see the written data).
-    for (PendingWriteback& wb : _writebacks) {
-        if (wb.issued)
+    for (u32 i = _wbHead; i < _writebacks.size(); ++i) {
+        WbEntry& wb = _writebacks[i];
+        if (wb.issued || wb.done)
             continue;
         if (!port.canRequest(cycle))
             break;
-        auto txn = std::make_shared<MemTransaction>();
-        txn->isRead = false;
-        txn->address = wb.addr;
-        txn->size = static_cast<u32>(wb.bytes.size());
-        txn->data = wb.bytes;
-        txn->client = client;
-        txn->tag = (static_cast<u64>(wb.addr) << 1) | 1;
-        port.request(cycle, txn);
+        wb.txn->client = client;
+        port.request(cycle, wb.txn);
         wb.issued = true;
     }
 
     // Issue fills, but never while a writeback of the same address
     // is still outstanding.
-    for (PendingFill& fill : _fills) {
-        if (fill.issued)
+    for (u32 i = 0; i < _ordCount; ++i) {
+        FillSlot& slot = _slots[_order[(_ordHead + i) & _ordMask]];
+        if (slot.issued)
             continue;
         bool conflict = false;
-        for (const PendingWriteback& wb : _writebacks) {
-            if (wb.addr == fill.addr)
+        for (u32 w = _wbHead; w < _writebacks.size(); ++w) {
+            if (!_writebacks[w].done &&
+                _writebacks[w].addr == slot.addr) {
                 conflict = true;
+            }
         }
         if (conflict)
             continue;
         if (!port.canRequest(cycle))
             break;
-        auto txn = std::make_shared<MemTransaction>();
+        MemTransactionPtr txn = makeTransaction();
         txn->isRead = true;
-        txn->address = fill.addr;
-        txn->size = _backing->fillSize(fill.addr);
+        txn->address = slot.addr;
+        txn->size = _backing->fillSize(slot.addr);
         txn->client = client;
-        txn->tag = static_cast<u64>(fill.addr) << 1;
+        txn->tag = static_cast<u64>(slot.addr) << 1;
         port.request(cycle, txn);
-        fill.issued = true;
+        slot.issued = true;
     }
 
     // Handle responses.
     while (port.hasResponse()) {
         MemTransactionPtr txn = port.popResponse(cycle);
+        const u32 addr = static_cast<u32>(txn->tag >> 1);
         if (!txn->isRead) {
-            // Writeback acknowledged.
-            const u32 addr = static_cast<u32>(txn->tag >> 1);
-            for (auto it = _writebacks.begin();
-                 it != _writebacks.end(); ++it) {
-                if (it->issued && it->addr == addr) {
-                    _writebacks.erase(it);
+            // Writeback acknowledged: tombstone the entry and let
+            // the head cursor drain over completed ones.
+            for (u32 i = _wbHead; i < _writebacks.size(); ++i) {
+                WbEntry& wb = _writebacks[i];
+                if (wb.issued && !wb.done && wb.addr == addr) {
+                    wb.done = true;
+                    wb.txn.reset();
+                    --_wbLive;
                     break;
                 }
             }
+            while (_wbHead < _writebacks.size() &&
+                   _writebacks[_wbHead].done) {
+                ++_wbHead;
+            }
+            if (_wbLive == 0) {
+                _writebacks.clear();
+                _wbHead = 0;
+            }
             continue;
         }
-        const u32 addr = static_cast<u32>(txn->tag >> 1);
-        bool found = false;
-        for (auto it = _fills.begin(); it != _fills.end(); ++it) {
-            if (it->issued && it->addr == addr) {
-                Line& line = _lines[it->lineIndex];
+        // Fill responses match in issue (FIFO) order: at most one
+        // live fill per address exists, and a cancelled fill for
+        // the same address always precedes it in the ring.
+        bool matched = false;
+        for (u32 i = 0; i < _ordCount; ++i) {
+            const u8 slotIdx = _order[(_ordHead + i) & _ordMask];
+            FillSlot& slot = _slots[slotIdx];
+            if (!slot.issued || slot.addr != addr)
+                continue;
+            if (slot.cancelled) {
+                --_cancelled; // Stale data discarded.
+            } else {
                 _backing->fillFromMemory(addr, txn->data.data(),
                                          txn->size,
-                                         line.data.data());
-                line.state = LineState::Valid;
-                _fills.erase(it);
-                found = true;
-                break;
+                                         lineData(slot.lineIndex));
+                _state[slot.lineIndex] = LineState::Valid;
             }
+            removeFillAt(i);
+            _freeSlots |= 1u << slotIdx;
+            matched = true;
+            break;
         }
-        if (!found)
+        if (!matched)
             panic("cache '", _name,
                   "': fill response with no pending fill");
     }
+
+    commitStats();
 }
 
 bool
@@ -255,18 +345,11 @@ FbCache::flushStep(Cycle cycle, MemPort& port, MemClient client)
 {
     // Queue writebacks for dirty lines, a few per cycle.
     u32 queued = 0;
-    while (_flushScan < _lines.size() && queued < 4) {
-        Line& line = _lines[_flushScan];
-        if (line.state == LineState::Valid && line.dirty) {
-            PendingWriteback wb;
-            wb.addr = line.addr;
-            wb.bytes.resize(_config.lineBytes);
-            const u32 size = _backing->writeback(line.addr,
-                                                 line.data.data(),
-                                                 wb.bytes.data());
-            wb.bytes.resize(size);
-            _writebacks.push_back(std::move(wb));
-            line.dirty = false;
+    while (_flushScan < _lineCount && queued < 4) {
+        if (_state[_flushScan] == LineState::Valid &&
+            _dirty[_flushScan]) {
+            queueWriteback(cycle, _flushScan);
+            _dirty[_flushScan] = 0;
             ++queued;
         }
         ++_flushScan;
@@ -274,7 +357,7 @@ FbCache::flushStep(Cycle cycle, MemPort& port, MemClient client)
 
     clock(cycle, port, client);
 
-    if (_flushScan >= _lines.size() && idle()) {
+    if (_flushScan >= _lineCount && idle()) {
         _flushScan = 0;
         return true;
     }
@@ -284,19 +367,41 @@ FbCache::flushStep(Cycle cycle, MemPort& port, MemClient client)
 void
 FbCache::invalidateAll()
 {
-    for (Line& line : _lines) {
-        if (line.state == LineState::Filling)
-            panic("cache '", _name,
-                  "': invalidateAll with fills in flight");
-        line.state = LineState::Invalid;
-        line.dirty = false;
+    // Drop unissued fills; flag issued ones so their response is
+    // discarded rather than resurrecting a stale line.
+    const u32 n = _ordCount;
+    u32 kept = 0;
+    for (u32 i = 0; i < n; ++i) {
+        const u8 slotIdx = _order[(_ordHead + i) & _ordMask];
+        FillSlot& slot = _slots[slotIdx];
+        if (slot.issued) {
+            if (!slot.cancelled) {
+                slot.cancelled = true;
+                ++_cancelled;
+            }
+            _order[(_ordHead + kept) & _ordMask] = slotIdx;
+            ++kept;
+        } else {
+            _freeSlots |= 1u << slotIdx;
+        }
     }
+    _ordCount = kept;
+
+    std::fill(_state.begin(), _state.end(), LineState::Invalid);
+    std::fill(_dirty.begin(), _dirty.end(), u8{0});
 }
 
 bool
 FbCache::idle() const
 {
-    return _fills.empty() && _writebacks.empty();
+    return _ordCount == 0 && _wbLive == 0;
+}
+
+void
+FbCache::commitStats()
+{
+    _hits.commit();
+    _misses.commit();
 }
 
 } // namespace attila::gpu

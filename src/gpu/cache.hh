@@ -12,16 +12,25 @@
  * written back to memory; this is where the Z compression and fast
  * clear algorithms plug in (the ROPz backing compresses on eviction
  * and services cleared blocks without memory traffic).
+ *
+ * Host-side layout (not modeled state): line data lives in one
+ * contiguous arena and the tag metadata in flat parallel arrays
+ * (state / dirty / address / last-use), so the tag walk on the hit
+ * path touches a handful of adjacent words instead of pointer-rich
+ * Line structs.  Pending fills occupy a fixed MSHR-style slot table
+ * with a per-line back-pointer, replacing the linear pending-fill
+ * scans, and miss/writeback transactions are recycled through a
+ * sharded ObjectPool so steady-state misses allocate nothing.
  */
 
 #ifndef ATTILA_GPU_CACHE_HH
 #define ATTILA_GPU_CACHE_HH
 
-#include <deque>
-#include <functional>
+#include <cstring>
 #include <vector>
 
 #include "gpu/memory_controller.hh"
+#include "sim/object_pool.hh"
 #include "sim/statistics.hh"
 
 namespace attila::gpu
@@ -147,6 +156,9 @@ class FbCache
         u32 lineBytes = 256;
         u32 ports = 4;          ///< Accesses per cycle.
         u32 maxOutstanding = 4; ///< Concurrent misses.
+        /** Host fast path: pooled transactions + batched stats
+         * (GpuConfig::memFastPath).  Timing-identical either way. */
+        bool fastPath = true;
     };
 
     FbCache(std::string name, const Config& config,
@@ -176,63 +188,124 @@ class FbCache
      */
     bool flushStep(Cycle cycle, MemPort& port, MemClient client);
 
-    /** Drop every line (after a fast clear). */
+    /**
+     * Drop every line (after a fast clear).  Safe while fills are in
+     * flight: unissued fills are dropped and issued fills are
+     * cancelled — their eventual response is discarded, so a stale
+     * line can never be resurrected into the cleared cache.
+     */
     void invalidateAll();
 
     /** True when no fills or writebacks are in flight. */
     bool idle() const;
 
     u32 lineBytes() const { return _config.lineBytes; }
-    u32 lineCount() const { return static_cast<u32>(_lines.size()); }
+    u32 lineCount() const { return _lineCount; }
     u32 ways() const { return _config.ways; }
     u32 sets() const { return _sets; }
+
+    /** Fills awaiting a (discarded) response after invalidateAll();
+     * exposed for tests. */
+    u32 cancelledFills() const { return _cancelled; }
+
+    /** Transactions ever heap-allocated by the internal pool; the
+     * zero-steady-state-allocation check watches this plateau. */
+    u64 txnAllocations() const { return _txnPool.allocated(); }
 
   private:
     enum class LineState : u8 { Invalid, Filling, Valid };
 
-    struct Line
+    /** One MSHR slot: a miss in flight towards memory. */
+    struct FillSlot
     {
-        LineState state = LineState::Invalid;
-        bool dirty = false;
-        u32 addr = 0; ///< Line-aligned address.
-        u64 lastUse = 0;
-        std::vector<u8> data;
-    };
-
-    struct PendingFill
-    {
-        u32 lineIndex = 0;
         u32 addr = 0;
+        u32 lineIndex = 0;
         bool localOnly = false;
         bool issued = false;
+        bool cancelled = false;
     };
 
-    struct PendingWriteback
+    /** A dirty line travelling back to memory.  The payload is
+     * encoded straight into the pooled transaction at eviction. */
+    struct WbEntry
     {
         u32 addr = 0;
-        std::vector<u8> bytes;
+        MemTransactionPtr txn;
         bool issued = false;
+        bool done = false;
     };
 
-    u32 setOf(u32 lineAddr) const;
-    Line* findLine(u32 lineAddr);
+    u32
+    lineAddrOf(u32 addr) const
+    {
+        return _pow2 ? addr & ~_lineMask
+                     : addr - addr % _config.lineBytes;
+    }
+
+    u32
+    setOf(u32 lineAddr) const
+    {
+        return _pow2 ? (lineAddr >> _lineShift) & _setMask
+                     : (lineAddr / _config.lineBytes) % _sets;
+    }
+
+    u8* lineData(u32 lineIndex)
+    {
+        return _arena.data() +
+               static_cast<std::size_t>(lineIndex) *
+                   _config.lineBytes;
+    }
+
+    /** Tag walk: resident (non-Invalid) line index or -1. */
+    s32 findLine(u32 lineAddr);
     s32 pickVictim(u32 set);
-    bool fillPendingFor(u32 lineAddr) const;
+    void queueWriteback(Cycle unusedCycle, u32 lineIndex);
+    MemTransactionPtr makeTransaction();
+    u8 allocFillSlot();
+    void removeFillAt(u32 orderPos);
+    void commitStats();
 
     std::string _name;
     Config _config;
     LineBacking _defaultBacking;
     LineBacking* _backing;
     u32 _sets;
-    std::vector<Line> _lines;
-    std::deque<PendingFill> _fills;
-    std::deque<PendingWriteback> _writebacks;
+    u32 _lineCount;
+    bool _pow2;      ///< lineBytes and sets both powers of two.
+    u32 _lineMask = 0;
+    u32 _lineShift = 0;
+    u32 _setMask = 0;
+
+    // SoA tag metadata + one arena for all line data.
+    std::vector<LineState> _state;
+    std::vector<u8> _dirty;
+    std::vector<u32> _addr;
+    std::vector<u64> _lastUse;
+    std::vector<u8> _arena;
+
+    // MSHR table: fixed slots + FIFO issue order ring.
+    std::vector<FillSlot> _slots;
+    u32 _freeSlots = 0; ///< Bitmask of free slot indices.
+    std::vector<u8> _order;
+    u32 _ordMask = 0;
+    u32 _ordHead = 0;
+    u32 _ordCount = 0;
+    u32 _cancelled = 0;
+
+    // Writeback FIFO: vector-with-cursor, entries completing out of
+    // order are tombstoned (done) until the head drains.
+    std::vector<WbEntry> _writebacks;
+    u32 _wbHead = 0;
+    u32 _wbLive = 0;
+
+    sim::ObjectPool<MemTransaction> _txnPool;
+
     u32 _accessesThisCycle = 0;
     Cycle _currentCycle = ~0ull;
     u64 _useCounter = 0;
     u32 _flushScan = 0;
-    sim::Statistic& _hits;
-    sim::Statistic& _misses;
+    sim::BatchedStat _hits;
+    sim::BatchedStat _misses;
 };
 
 } // namespace attila::gpu

@@ -20,13 +20,18 @@ ColorWrite::ColorWrite(sim::SignalBinder& binder,
       _cache("colorcache" + std::to_string(unit),
              FbCache::Config{config.colorCacheKB,
                              config.colorCacheWays,
-                             config.colorCacheLine, 4, 4},
+                             config.colorCacheLine, 4, 4,
+                             config.memFastPath},
              stat("cacheHits"), stat("cacheMisses"), &_backing),
       _statQuads(stat("quads")),
       _statFragments(stat("fragments")),
       _statBlended(stat("blendedFragments")),
       _statBusy(stat("busyCycles"))
 {
+    _statQuads.setImmediate(!config.memFastPath);
+    _statFragments.setImmediate(!config.memFastPath);
+    _statBlended.setImmediate(!config.memFastPath);
+    _statBusy.setImmediate(!config.memFastPath);
     const std::string id = std::to_string(unit);
     _earlyIn.init(*this, binder, "ffifo.ropc" + id, 2, 1, 16);
     _lateIn.init(*this, binder, "ropz" + id + ".ropc", 1,
@@ -217,10 +222,9 @@ ColorWrite::tryRetire(Cycle cycle)
 {
     while (!_retireQueue.empty() && _retire.canSend(cycle)) {
         auto retire = std::make_shared<RetireObj>();
-        retire->batchId = _retireQueue.front();
+        retire->batchId = _retireQueue.pop_front();
         retire->unit = _unit;
         _retire.send(cycle, retire);
-        _retireQueue.pop_front();
     }
 }
 
@@ -240,6 +244,10 @@ ColorWrite::update(Cycle cycle)
         _cache.clock(cycle, _mem, MemClient::ColorCache);
     }
     tryRetire(cycle);
+    _statQuads.commit();
+    _statFragments.commit();
+    _statBlended.commit();
+    _statBusy.commit();
 }
 
 bool

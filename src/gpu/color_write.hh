@@ -15,14 +15,13 @@
 #ifndef ATTILA_GPU_COLOR_WRITE_HH
 #define ATTILA_GPU_COLOR_WRITE_HH
 
-#include <deque>
-
 #include "emu/memory.hh"
 #include "gpu/cache.hh"
 #include "gpu/framebuffer.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
 #include "sim/box.hh"
+#include "sim/ring_queue.hh"
 
 namespace attila::gpu
 {
@@ -169,12 +168,12 @@ class ColorWrite : public sim::Box
     u32 _curBatch = 0;
     bool _endEarly = false; ///< Early-path BatchEnd popped.
     bool _endLate = false;  ///< Late-path BatchEnd popped.
-    std::deque<u32> _retireQueue;
+    sim::RingQueue<u32> _retireQueue;
 
-    sim::Statistic& _statQuads;
-    sim::Statistic& _statFragments;
-    sim::Statistic& _statBlended;
-    sim::Statistic& _statBusy;
+    sim::BatchedStat _statQuads;
+    sim::BatchedStat _statFragments;
+    sim::BatchedStat _statBlended;
+    sim::BatchedStat _statBusy;
 };
 
 } // namespace attila::gpu

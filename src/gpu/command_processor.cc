@@ -16,6 +16,7 @@ CommandProcessor::CommandProcessor(sim::SignalBinder& binder,
       _statBusy(stat("busyCycles"))
 {
     _drawOut.init(*this, binder, "cp.draw", 1, 1, 4);
+    _txns.setPooled(config.memFastPath);
     _mem.init(*this, binder, "mc.cp", _config.memoryRequestQueue);
 
     for (u32 i = 0; i < config.numRops; ++i) {
@@ -242,7 +243,7 @@ CommandProcessor::continueCommand(Cycle cycle)
                _mem.canRequest(cycle)) {
             const u32 chunk = std::min<u32>(
                 256, static_cast<u32>(bytes.size()) - _memBytesSent);
-            auto txn = std::make_shared<MemTransaction>();
+            auto txn = _txns.acquire();
             txn->isRead = false;
             txn->address = _current.address + _memBytesSent;
             txn->size = chunk;

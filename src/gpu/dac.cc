@@ -48,6 +48,7 @@ Dac::Dac(sim::SignalBinder& binder, sim::StatisticManager& stats,
 {
     _ctrl.init(*this, binder, "cp.ctrl.dac", 1, 1, 2);
     _ack.init(*this, binder, "ack.dac", 1, 1, 2);
+    _txns.setPooled(config.memFastPath);
     _mem.init(*this, binder, "mc.dac", config.memoryRequestQueue);
 }
 
@@ -121,7 +122,7 @@ Dac::update(Cycle cycle)
         _statBusy.inc();
         // Issue tile reads (refresh bandwidth).
         while (_nextTile < _totalTiles && _mem.canRequest(cycle)) {
-            auto txn = std::make_shared<MemTransaction>();
+            auto txn = _txns.acquire();
             txn->isRead = true;
             txn->address = _bufferBase + _nextTile * fbTileBytes;
             txn->size = fbTileBytes;

@@ -17,6 +17,7 @@
 #include "gpu/color_write.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
+#include "gpu/txn_pool.hh"
 #include "sim/box.hh"
 
 namespace attila::gpu
@@ -78,6 +79,7 @@ class Dac : public sim::Box
     LinkRx<ControlObj> _ctrl;
     LinkTx _ack;
     MemPort _mem;
+    TxnAllocator _txns;
 
     std::vector<std::shared_ptr<const ColorClearInfo>> _clearInfos;
     const emu::GpuMemory* _memory = nullptr;

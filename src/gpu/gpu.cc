@@ -47,6 +47,17 @@ applyEnvOverrides(GpuConfig config)
     }
     if (const auto fast = emu::envFastPathOverride())
         config.emuFastPath = *fast;
+    if (const char* env = std::getenv("ATTILA_MEM_FASTPATH")) {
+        const std::string flag(env);
+        if (flag == "0" || flag == "false" || flag == "off") {
+            config.memFastPath = false;
+        } else if (flag == "1" || flag == "true" || flag == "on") {
+            config.memFastPath = true;
+        } else if (!flag.empty()) {
+            fatal("ATTILA_MEM_FASTPATH='", flag,
+                  "': expected 0|1|false|true|off|on");
+        }
+    }
     return config;
 }
 

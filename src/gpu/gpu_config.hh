@@ -148,6 +148,13 @@ struct GpuConfig
      * per-lane interpreter reference path for debugging and A/B
      * runs.  Overridable via ATTILA_EMU_FASTPATH=0|1. */
     bool emuFastPath = true;
+    /** Memory-hierarchy host fast path: pooled MemTransaction
+     * recycling, batched statistic commits and reused sampling
+     * scratch in the cache clients and memory controller.
+     * Bit-identical cycles and statistics either way; false restores
+     * the allocate-per-transaction reference path for debugging and
+     * A/B runs.  Overridable via ATTILA_MEM_FASTPATH=0|1. */
+    bool memFastPath = true;
     /** Cycles between drain polls once the command stream is
      * exhausted (the poll walks every box and signal, so it is too
      * expensive to run each cycle). */

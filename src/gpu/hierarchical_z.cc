@@ -16,6 +16,10 @@ HierarchicalZ::HierarchicalZ(sim::SignalBinder& binder,
       _statQuads(stat("quads")),
       _statBusy(stat("busyCycles"))
 {
+    _statTiles.setImmediate(!config.memFastPath);
+    _statCulled.setImmediate(!config.memFastPath);
+    _statQuads.setImmediate(!config.memFastPath);
+    _statBusy.setImmediate(!config.memFastPath);
     _in.init(*this, binder, "fgen.hz", config.tilesPerCycle, 1,
              config.hzQueue);
     for (u32 i = 0; i < config.numRops; ++i) {
@@ -135,7 +139,7 @@ HierarchicalZ::splitTile(Cycle cycle, const TileObjPtr& tile)
         LinkTx& out = *_toRopz[ropOf(tileIndex)];
         if (!out.canSend(cycle))
             return false;
-        out.send(cycle, _pendingQuads.front());
+        out.send(cycle, std::move(_pendingQuads.front()));
         _pendingQuads.pop_front();
         _statQuads.inc();
     }
@@ -207,6 +211,10 @@ HierarchicalZ::update(Cycle cycle)
     processControl(cycle);
     processUpdates(cycle);
     processTiles(cycle);
+    _statTiles.commit();
+    _statCulled.commit();
+    _statQuads.commit();
+    _statBusy.commit();
 }
 
 bool

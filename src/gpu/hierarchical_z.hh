@@ -20,13 +20,13 @@
 #ifndef ATTILA_GPU_HIERARCHICAL_Z_HH
 #define ATTILA_GPU_HIERARCHICAL_Z_HH
 
-#include <deque>
 #include <vector>
 
 #include "gpu/framebuffer.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
 #include "sim/box.hh"
+#include "sim/ring_queue.hh"
 
 namespace attila::gpu
 {
@@ -81,12 +81,12 @@ class HierarchicalZ : public sim::Box
     bool _poisoned = false;   ///< Ignore refinements until clear.
 
     /** Quads of a partially sent tile (output backpressure). */
-    std::deque<QuadObjPtr> _pendingQuads;
+    sim::RingQueue<QuadObjPtr> _pendingQuads;
 
-    sim::Statistic& _statTiles;
-    sim::Statistic& _statCulled;
-    sim::Statistic& _statQuads;
-    sim::Statistic& _statBusy;
+    sim::BatchedStat _statTiles;
+    sim::BatchedStat _statCulled;
+    sim::BatchedStat _statQuads;
+    sim::BatchedStat _statBusy;
 };
 
 } // namespace attila::gpu

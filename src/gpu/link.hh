@@ -17,11 +17,10 @@
 #ifndef ATTILA_GPU_LINK_HH
 #define ATTILA_GPU_LINK_HH
 
-#include <deque>
-
 #include "gpu/work_objects.hh"
 #include "sim/box.hh"
 #include "sim/object_pool.hh"
+#include "sim/ring_queue.hh"
 
 namespace attila::gpu
 {
@@ -139,8 +138,7 @@ class LinkRx
     std::shared_ptr<T>
     pop(Cycle cycle)
     {
-        auto obj = _queue.front();
-        _queue.pop_front();
+        auto obj = _queue.pop_front();
         _credit->write(cycle, _pool.acquire());
         return obj;
     }
@@ -150,7 +148,7 @@ class LinkRx
   private:
     sim::Signal* _data = nullptr;
     sim::Signal* _credit = nullptr;
-    std::deque<std::shared_ptr<T>> _queue;
+    sim::RingQueue<std::shared_ptr<T>> _queue;
     u32 _capacity = 0;
     sim::ObjectPool<CreditObj> _pool;
 };

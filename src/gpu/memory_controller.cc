@@ -1,6 +1,7 @@
 #include "gpu/memory_controller.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace attila::gpu
 {
@@ -14,6 +15,7 @@ MemoryController::MemoryController(sim::SignalBinder& binder,
     : Box(binder, stats, "MemoryController"),
       _config(config),
       _memory(memory),
+      _fastPath(config.memFastPath),
       _statReadBytes(stat("readBytes")),
       _statWriteBytes(stat("writeBytes")),
       _statBusyCycles(stat("busyCycles")),
@@ -31,16 +33,36 @@ MemoryController::MemoryController(sim::SignalBinder& binder,
                          config.memoryRequestQueue);
         client->resp.init(*this, binder, port + ".resp", 8, 1,
                           config.memoryRequestQueue);
-        _statClientBytes.push_back(&stat(port + ".bytes"));
+        _statClientBytes.emplace_back(stat(port + ".bytes"));
         _clients.push_back(std::move(client));
     }
-}
 
-u32
-MemoryController::channelOf(u32 addr) const
-{
-    return (addr / _config.channelInterleave) %
-           _config.memoryChannels;
+    _fastAddr = std::has_single_bit(config.channelInterleave) &&
+                std::has_single_bit(config.memoryChannels);
+    if (_fastAddr) {
+        _ilShift = static_cast<u32>(
+            std::countr_zero(config.channelInterleave));
+        _chanMask = config.memoryChannels - 1;
+    }
+    _fastPage = std::has_single_bit(config.memoryPageBytes);
+    if (_fastPage) {
+        _pageShift = static_cast<u32>(
+            std::countr_zero(config.memoryPageBytes));
+    }
+    _fastCost = std::has_single_bit(config.channelBytesPerCycle);
+    if (_fastCost) {
+        _bpcShift = static_cast<u32>(
+            std::countr_zero(config.channelBytesPerCycle));
+    }
+
+    const bool immediate = !_fastPath;
+    _statReadBytes.setImmediate(immediate);
+    _statWriteBytes.setImmediate(immediate);
+    _statBusyCycles.setImmediate(immediate);
+    _statPageOpens.setImmediate(immediate);
+    _statTurnarounds.setImmediate(immediate);
+    for (auto& stat : _statClientBytes)
+        stat.setImmediate(immediate);
 }
 
 void
@@ -64,8 +86,10 @@ MemoryController::acceptRequests(Cycle cycle)
             while (offset < txn->size) {
                 const u32 addr = txn->address + offset;
                 const u32 stripeEnd =
-                    (addr / _config.channelInterleave + 1) *
-                    _config.channelInterleave;
+                    _fastAddr
+                        ? ((addr >> _ilShift) + 1) << _ilShift
+                        : (addr / _config.channelInterleave + 1) *
+                              _config.channelInterleave;
                 const u32 size = std::min(
                     {txn->size - offset, stripeEnd - addr,
                      _config.memoryBurstBytes});
@@ -74,11 +98,16 @@ MemoryController::acceptRequests(Cycle cycle)
                 b.clientIdx = ci;
                 b.offset = offset;
                 b.size = size;
-                _channels[channelOf(addr)].queues[ci].push_back(b);
+                _channels[channelOf(addr)].queues[ci].push_back(
+                    std::move(b));
                 offset += size;
                 ++bursts;
             }
-            _pendingBursts[txn.get()] = bursts;
+            if (_fastPath)
+                txn->hostBurstsLeft = bursts;
+            else
+                _pendingBursts[txn.get()] = bursts;
+            ++_pendingTxns;
         }
     }
 }
@@ -95,14 +124,12 @@ MemoryController::scheduleChannels(Cycle cycle)
             const u32 ci = (ch.rrNext + k) % n;
             if (ch.queues[ci].empty())
                 continue;
-            Burst b = ch.queues[ci].front();
-            ch.queues[ci].pop_front();
+            Burst b = ch.queues[ci].pop_front();
             ch.rrNext = (ci + 1) % n;
 
             const u32 addr = b.txn->address + b.offset;
-            const u64 page = addr / _config.memoryPageBytes;
-            u64 cost = (b.size + _config.channelBytesPerCycle - 1) /
-                       _config.channelBytesPerCycle;
+            const u64 page = pageOf(addr);
+            u64 cost = transferCycles(b.size);
             if (page != ch.currentPage) {
                 cost += _config.pageOpenPenalty;
                 _statPageOpens.inc();
@@ -115,7 +142,7 @@ MemoryController::scheduleChannels(Cycle cycle)
                 ch.lastWasWrite = isWrite;
             }
             ch.busyUntil = cycle + cost;
-            ch.inflight = b;
+            ch.inflight = std::move(b);
             ch.hasInflight = true;
             _statBusyCycles.inc(cost);
             break;
@@ -140,16 +167,31 @@ MemoryController::completeBursts(Cycle cycle)
             _statWriteBytes.inc(b.size);
         }
         _totalBytes += b.size;
-        _statClientBytes[b.clientIdx]->inc(b.size);
+        _statClientBytes[b.clientIdx].inc(b.size);
 
-        auto it = _pendingBursts.find(b.txn.get());
-        if (it == _pendingBursts.end())
-            panic("memory controller: completion for an unknown"
-                  " transaction");
-        if (--it->second == 0) {
-            _pendingBursts.erase(it);
-            _clients[b.clientIdx]->completed.push_back(b.txn);
+        bool lastBurst = false;
+        if (_fastPath) {
+            if (b.txn->hostBurstsLeft == 0) {
+                panic("memory controller: completion for an unknown"
+                      " transaction");
+            }
+            lastBurst = --b.txn->hostBurstsLeft == 0;
+        } else {
+            auto it = _pendingBursts.find(b.txn.get());
+            if (it == _pendingBursts.end()) {
+                panic("memory controller: completion for an unknown"
+                      " transaction");
+            }
+            lastBurst = --it->second == 0;
+            if (lastBurst)
+                _pendingBursts.erase(it);
         }
+        if (lastBurst) {
+            --_pendingTxns;
+            _clients[b.clientIdx]->completed.push_back(
+                std::move(b.txn));
+        }
+        b.txn.reset();
         ch.hasInflight = false;
     }
 }
@@ -162,8 +204,7 @@ MemoryController::sendResponses(Cycle cycle)
         client.resp.clock(cycle);
         while (!client.completed.empty() &&
                client.resp.canSend(cycle)) {
-            client.resp.send(cycle, client.completed.front());
-            client.completed.pop_front();
+            client.resp.send(cycle, client.completed.pop_front());
         }
     }
 }
@@ -175,12 +216,25 @@ MemoryController::update(Cycle cycle)
     completeBursts(cycle);
     scheduleChannels(cycle);
     sendResponses(cycle);
+    commitStats();
+}
+
+void
+MemoryController::commitStats()
+{
+    _statReadBytes.commit();
+    _statWriteBytes.commit();
+    _statBusyCycles.commit();
+    _statPageOpens.commit();
+    _statTurnarounds.commit();
+    for (auto& stat : _statClientBytes)
+        stat.commit();
 }
 
 bool
 MemoryController::empty() const
 {
-    if (!_pendingBursts.empty())
+    if (_pendingTxns != 0)
         return false;
     for (const auto& client : _clients) {
         if (!client->completed.empty() || !client->req.empty())

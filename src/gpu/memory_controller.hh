@@ -14,12 +14,19 @@
  * GpuMemory image at completion time, writes commit their payload at
  * completion time.  Clients therefore observe memory-consistent data
  * with realistic timing.
+ *
+ * Host-side fast path (GpuConfig::memFastPath, timing-identical):
+ * burst bookkeeping lives in the transaction itself
+ * (MemTransaction::hostBurstsLeft) instead of a std::map keyed by
+ * pointer, the per-channel and completion queues are RingQueues
+ * instead of deques, address decomposition uses precomputed
+ * shift/mask pairs when the geometry is a power of two, and
+ * statistics commit once per clock.
  */
 
 #ifndef ATTILA_GPU_MEMORY_CONTROLLER_HH
 #define ATTILA_GPU_MEMORY_CONTROLLER_HH
 
-#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +36,7 @@
 #include "gpu/link.hh"
 #include "gpu/work_objects.hh"
 #include "sim/box.hh"
+#include "sim/ring_queue.hh"
 
 namespace attila::gpu
 {
@@ -121,7 +129,7 @@ class MemoryController : public sim::Box
 
     struct Channel
     {
-        std::vector<std::deque<Burst>> queues; ///< Per client.
+        std::vector<sim::RingQueue<Burst>> queues; ///< Per client.
         u32 rrNext = 0;
         Cycle busyUntil = 0;
         bool hasInflight = false;
@@ -135,29 +143,65 @@ class MemoryController : public sim::Box
         std::string name;
         LinkRx<MemTransaction> req;
         LinkTx resp;
-        std::deque<MemTransactionPtr> completed;
+        sim::RingQueue<MemTransactionPtr> completed;
     };
 
-    u32 channelOf(u32 addr) const;
+    u32
+    channelOf(u32 addr) const
+    {
+        return _fastAddr ? (addr >> _ilShift) & _chanMask
+                         : (addr / _config.channelInterleave) %
+                               _config.memoryChannels;
+    }
+
+    u64
+    pageOf(u32 addr) const
+    {
+        return _fastPage ? addr >> _pageShift
+                         : addr / _config.memoryPageBytes;
+    }
+
+    u64
+    transferCycles(u32 size) const
+    {
+        const u32 bpc = _config.channelBytesPerCycle;
+        return _fastCost ? (size + bpc - 1) >> _bpcShift
+                         : (size + bpc - 1) / bpc;
+    }
+
     void acceptRequests(Cycle cycle);
     void scheduleChannels(Cycle cycle);
     void completeBursts(Cycle cycle);
     void sendResponses(Cycle cycle);
+    void commitStats();
 
     const GpuConfig& _config;
     emu::GpuMemory& _memory;
     std::vector<std::unique_ptr<ClientPort>> _clients;
     std::vector<Channel> _channels;
-    /** Remaining burst count per in-flight transaction. */
+    bool _fastPath = true;
+    /** Transactions accepted but not yet completed (both paths). */
+    u32 _pendingTxns = 0;
+    /** Reference-path burst bookkeeping (memFastPath off); the fast
+     * path counts down MemTransaction::hostBurstsLeft instead. */
     std::map<const MemTransaction*, u32> _pendingBursts;
     u64 _totalBytes = 0;
 
-    sim::Statistic& _statReadBytes;
-    sim::Statistic& _statWriteBytes;
-    sim::Statistic& _statBusyCycles;
-    sim::Statistic& _statPageOpens;
-    sim::Statistic& _statTurnarounds;
-    std::vector<sim::Statistic*> _statClientBytes;
+    // Precomputed address decomposition (power-of-two geometry).
+    bool _fastAddr = false;
+    bool _fastPage = false;
+    bool _fastCost = false;
+    u32 _ilShift = 0;
+    u32 _chanMask = 0;
+    u32 _pageShift = 0;
+    u32 _bpcShift = 0;
+
+    sim::BatchedStat _statReadBytes;
+    sim::BatchedStat _statWriteBytes;
+    sim::BatchedStat _statBusyCycles;
+    sim::BatchedStat _statPageOpens;
+    sim::BatchedStat _statTurnarounds;
+    std::vector<sim::BatchedStat> _statClientBytes;
 };
 
 } // namespace attila::gpu

@@ -47,11 +47,19 @@ ShaderUnit::acceptWork(Cycle cycle)
 {
     while (!_in.empty()) {
         ShaderWorkObjPtr work = _in.pop(cycle);
-        Thread thread;
+        u32 slot;
+        if (!_freeThreads.empty()) {
+            slot = _freeThreads.back();
+            _freeThreads.pop_back();
+        } else {
+            slot = static_cast<u32>(_threadPool.size());
+            _threadPool.emplace_back();
+        }
+        Thread& thread = _threadPool[slot];
         thread.order = _orderCounter++;
-        thread.work = work;
-        const RenderState& state = *work->state;
-        if (work->target == emu::ShaderTarget::Vertex) {
+        thread.work = std::move(work);
+        const RenderState& state = *thread.work->state;
+        if (thread.work->target == emu::ShaderTarget::Vertex) {
             thread.program = state.vertexProgram;
             thread.constants = &state.vertexConstants;
         } else {
@@ -60,14 +68,21 @@ ShaderUnit::acceptWork(Cycle cycle)
         }
         if (!thread.program)
             panic("ShaderUnit", _unit, ": work without a program");
+        thread.decoded = nullptr;
         if (_fastPath)
             thread.decoded = &_decodeCache.get(thread.program);
         for (u32 l = 0; l < 4; ++l) {
             thread.lanes[l].reset();
-            thread.lanes[l].in = work->in[l];
-            thread.laneDone[l] = !work->active[l];
+            thread.lanes[l].in = thread.work->in[l];
+            thread.laneDone[l] = !thread.work->active[l];
         }
-        _threads.push_back(std::move(thread));
+        thread.waitingTexture = false;
+        thread.finished = false;
+        thread.tempReady.fill(0);
+        thread.pendingTex.reset();
+        thread.epoch = 1;
+        thread.depsEpoch = 0;
+        _activeSlots.push_back(slot);
         _statThreads.inc();
     }
 }
@@ -79,7 +94,8 @@ ShaderUnit::handleTexResponses(Cycle cycle)
         while (!rx->empty()) {
             TexRequestPtr resp = rx->pop(cycle);
             bool found = false;
-            for (Thread& thread : _threads) {
+            for (const u32 slot : _activeSlots) {
+                Thread& thread = _threadPool[slot];
                 if (thread.work->entryId != resp->threadTag ||
                     !thread.waitingTexture) {
                     continue;
@@ -116,6 +132,7 @@ ShaderUnit::handleTexResponses(Cycle cycle)
                     thread.tempReady[static_cast<u32>(dstTemp)] =
                         cycle + 1;
                 thread.waitingTexture = false;
+                ++thread.epoch;
                 found = true;
                 break;
             }
@@ -126,9 +143,8 @@ ShaderUnit::handleTexResponses(Cycle cycle)
     }
 }
 
-bool
-ShaderUnit::dependenciesReady(const Thread& thread,
-                              Cycle cycle) const
+Cycle
+ShaderUnit::computeReadyAt(const Thread& thread) const
 {
     // All lanes share the pc; lane 0 is the reference.
     u32 pc = ~0u;
@@ -139,44 +155,58 @@ ShaderUnit::dependenciesReady(const Thread& thread,
         }
     }
     if (pc == ~0u)
-        return true;
+        return 0;
+    Cycle readyAt = 0;
     if (thread.decoded) {
         const emu::DecodedIns& d = thread.decoded->code[pc];
         for (u32 i = 0; i < d.numSrc; ++i) {
             const emu::DecodedSrc& src = d.src[i];
             if (!src.fromConstants &&
-                src.offset >= emu::decoded::tempBase &&
-                thread.tempReady[src.offset -
-                                 emu::decoded::tempBase] > cycle) {
-                return false;
+                src.offset >= emu::decoded::tempBase) {
+                readyAt = std::max(
+                    readyAt, thread.tempReady[src.offset -
+                                              emu::decoded::tempBase]);
             }
         }
-        return true;
+        return readyAt;
     }
     const emu::Instruction& ins = thread.program->code[pc];
     const emu::OpcodeInfo& info = emu::opcodeInfo(ins.op);
     for (u32 i = 0; i < info.numSrc; ++i) {
-        if (ins.src[i].bank == emu::Bank::Temp &&
-            thread.tempReady[ins.src[i].index] > cycle) {
-            return false;
+        if (ins.src[i].bank == emu::Bank::Temp) {
+            readyAt = std::max(readyAt,
+                               thread.tempReady[ins.src[i].index]);
         }
     }
-    return true;
+    return readyAt;
+}
+
+bool
+ShaderUnit::dependenciesReady(const Thread& thread,
+                              Cycle cycle) const
+{
+    // "Ready at cycle c" was: no source temp has tempReady > c,
+    // i.e. c >= max(tempReady over sources).  That maximum only
+    // moves when the pc, laneDone or scoreboard change — all bump
+    // the thread's epoch — so it is computed once per epoch and the
+    // per-cycle check collapses to a compare.
+    if (thread.depsEpoch != thread.epoch) {
+        thread.depsReadyAt = computeReadyAt(thread);
+        thread.depsEpoch = thread.epoch;
+    }
+    return cycle >= thread.depsReadyAt;
 }
 
 ShaderUnit::Thread*
 ShaderUnit::selectThread(Cycle cycle)
 {
-    if (_threads.empty())
+    if (_activeSlots.empty())
         return nullptr;
 
     if (_config.scheduling == ShaderScheduling::InOrderQueue) {
         // Strictly in-order: only the oldest thread may execute.
-        Thread* oldest = nullptr;
-        for (Thread& thread : _threads) {
-            if (!oldest || thread.order < oldest->order)
-                oldest = &thread;
-        }
+        // Insertion order is age order, so that is the front.
+        Thread* oldest = &_threadPool[_activeSlots.front()];
         if (oldest->waitingTexture) {
             _statStallTex.inc();
             return nullptr;
@@ -186,13 +216,18 @@ ShaderUnit::selectThread(Cycle cycle)
         return oldest;
     }
 
-    // Thread window: round-robin among ready threads.
-    const u32 n = static_cast<u32>(_threads.size());
-    u32 i = 0;
+    // Thread window: round-robin among ready threads — the first
+    // ready thread at position >= rrNext, else the first ready one
+    // before it (a circular scan, stopping at the first match).
+    const u32 n = static_cast<u32>(_activeSlots.size());
+    const u32 start = _rrNext % n;
     Thread* candidate = nullptr;
     bool anyTexWait = false;
-    for (Thread& thread : _threads) {
-        const u32 slot = i++;
+    for (u32 k = 0; k < n; ++k) {
+        u32 pos = start + k;
+        if (pos >= n)
+            pos -= n;
+        Thread& thread = _threadPool[_activeSlots[pos]];
         if (thread.waitingTexture) {
             anyTexWait = true;
             continue;
@@ -201,21 +236,11 @@ ShaderUnit::selectThread(Cycle cycle)
             continue;
         if (!dependenciesReady(thread, cycle))
             continue;
-        if (slot >= _rrNext % n && !candidate) {
-            candidate = &thread;
-        }
+        candidate = &thread;
+        break;
     }
-    if (!candidate) {
-        // Wrap around.
-        for (Thread& thread : _threads) {
-            if (thread.waitingTexture || thread.finished)
-                continue;
-            if (!dependenciesReady(thread, cycle))
-                continue;
-            candidate = &thread;
-            break;
-        }
-    }
+    // No candidate means the scan visited every thread, so
+    // anyTexWait is complete exactly when it is needed.
     if (!candidate && anyTexWait)
         _statStallTex.inc();
     ++_rrNext;
@@ -274,7 +299,7 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
                 if (qs.outcome != StepOutcome::TexRequest)
                     panic("ShaderUnit", _unit,
                           ": expected a texture request");
-                auto req = std::make_shared<TexRequest>();
+                auto req = makeTexRequest();
                 req->shaderId = _unit;
                 req->threadTag = thread.work->entryId;
                 req->state = thread.work->state;
@@ -293,6 +318,7 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
                 _tuNext = (_tuNext + 1) %
                           std::max<std::size_t>(1, _texReq.size());
                 thread.waitingTexture = true;
+                ++thread.epoch;
                 _statTexRequests.inc();
                 _statInstructions.inc();
                 return;
@@ -306,6 +332,7 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
                 thread.tempReady[static_cast<u32>(d.dstTempIndex)] =
                     cycle + qs.latency;
             }
+            ++thread.epoch;
             if (qs.outcome == StepOutcome::Done) {
                 thread.finished = true;
                 return;
@@ -321,7 +348,7 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
             LinkTx& link = *_texReq[_tuNext % _texReq.size()];
             if (!link.canSend(cycle))
                 return; // No TU slot this cycle; retry.
-            auto req = std::make_shared<TexRequest>();
+            auto req = makeTexRequest();
             req->shaderId = _unit;
             req->threadTag = thread.work->entryId;
             req->state = thread.work->state;
@@ -347,6 +374,7 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
             _tuNext = (_tuNext + 1) %
                       std::max<std::size_t>(1, _texReq.size());
             thread.waitingTexture = true;
+            ++thread.epoch;
             _statTexRequests.inc();
             _statInstructions.inc();
             return;
@@ -372,12 +400,24 @@ ShaderUnit::execute(Cycle cycle, Thread& thread)
 
         if (info.hasDst && ins.dst.bank == emu::Bank::Temp)
             thread.tempReady[ins.dst.index] = cycle + latency;
+        ++thread.epoch;
 
         if (done) {
             thread.finished = true;
             return;
         }
     }
+}
+
+TexRequestPtr
+ShaderUnit::makeTexRequest()
+{
+    // Pooled on the memory fast path (texture requests are the
+    // shader units' steady-state allocation); plain otherwise for
+    // A/B runs.  Timing is identical either way.
+    if (_config.memFastPath)
+        return _texPool.acquire();
+    return std::make_shared<TexRequest>();
 }
 
 void
@@ -394,10 +434,19 @@ ShaderUnit::update(Cycle cycle)
     handleTexResponses(cycle);
 
     // Retire finished threads (one per cycle).
-    for (auto it = _threads.begin(); it != _threads.end(); ++it) {
-        if (it->finished) {
-            if (sendResult(cycle, *it))
-                _threads.erase(it);
+    for (u32 i = 0; i < _activeSlots.size(); ++i) {
+        Thread& thread = _threadPool[_activeSlots[i]];
+        if (thread.finished) {
+            if (sendResult(cycle, thread)) {
+                // Release references; the slot itself is recycled.
+                thread.work.reset();
+                thread.program.reset();
+                thread.pendingTex.reset();
+                thread.constants = nullptr;
+                thread.decoded = nullptr;
+                _freeThreads.push_back(_activeSlots[i]);
+                _activeSlots.erase(_activeSlots.begin() + i);
+            }
             break;
         }
     }
@@ -411,7 +460,7 @@ ShaderUnit::update(Cycle cycle)
 bool
 ShaderUnit::empty() const
 {
-    return _threads.empty() && _in.empty();
+    return _activeSlots.empty() && _in.empty();
 }
 
 } // namespace attila::gpu

@@ -18,12 +18,13 @@
 #ifndef ATTILA_GPU_SHADER_UNIT_HH
 #define ATTILA_GPU_SHADER_UNIT_HH
 
-#include <list>
+#include <deque>
 
 #include "emu/decoded_program.hh"
 #include "emu/shader_emulator.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
+#include "gpu/txn_pool.hh"
 #include "sim/box.hh"
 
 namespace attila::gpu
@@ -80,6 +81,13 @@ class ShaderUnit : public sim::Box
         /** Scoreboard: cycle each temp register becomes readable. */
         std::array<Cycle, emu::regix::numTempRegs> tempReady{};
         TexRequestPtr pendingTex; ///< Built but not yet sent.
+
+        /** Host-side change counter: bumped whenever the pc,
+         * laneDone or scoreboard changes, so the dependency check
+         * below can be memoized per epoch. */
+        u64 epoch = 1;
+        mutable u64 depsEpoch = 0;
+        mutable Cycle depsReadyAt = 0;
     };
 
     void acceptWork(Cycle cycle);
@@ -88,6 +96,8 @@ class ShaderUnit : public sim::Box
     void execute(Cycle cycle, Thread& thread);
     bool sendResult(Cycle cycle, Thread& thread);
     bool dependenciesReady(const Thread& thread, Cycle cycle) const;
+    Cycle computeReadyAt(const Thread& thread) const;
+    TexRequestPtr makeTexRequest();
 
     const GpuConfig& _config;
     const u32 _unit;
@@ -101,7 +111,16 @@ class ShaderUnit : public sim::Box
     emu::ShaderEmulator _emulator;
     emu::DecodedProgramCache _decodeCache;
     const bool _fastPath;
-    std::list<Thread> _threads;
+    /** Thread storage: a never-shrinking deque of slots recycled
+     * through a free list (a Thread is ~4.5 KB of register state —
+     * per-thread heap churn and node hops are host-side waste).
+     * `_activeSlots` lists the live slots in insertion order, which
+     * is exactly the old std::list iteration order the round-robin
+     * scheduling is defined over. */
+    std::deque<Thread> _threadPool;
+    std::vector<u32> _freeThreads;
+    std::vector<u32> _activeSlots;
+    sim::ObjectPool<TexRequest> _texPool;
     u64 _orderCounter = 0;
     u32 _rrNext = 0;
     u32 _tuNext = 0;

@@ -31,6 +31,7 @@ Streamer::Streamer(sim::SignalBinder& binder,
     _fromShading.init(*this, binder, "shading.streamer", 1, 1, 16);
     _toAssembly.init(*this, binder, "streamer.assembly", 1, 1,
                      config.primitiveAssemblyQueue);
+    _txns.setPooled(config.memFastPath);
     _mem.init(*this, binder, "mc.streamer",
               config.memoryRequestQueue);
 }
@@ -142,7 +143,7 @@ Streamer::fetchIndices(Cycle cycle)
         const u32 indexBytes = state.indexStream.wide ? 4 : 2;
         const u32 total = _batch->params.count * indexBytes;
         const u32 offset = _indexChunksRequested * indexChunkBytes;
-        auto txn = std::make_shared<MemTransaction>();
+        auto txn = _txns.acquire();
         txn->isRead = true;
         txn->address = state.indexStream.address + offset;
         txn->size = std::min(indexChunkBytes, total - offset);
@@ -275,7 +276,7 @@ Streamer::dispatchVertices(Cycle cycle)
 
     for (u32 s : active) {
         const VertexStream& vs = state.streams[s];
-        auto txn = std::make_shared<MemTransaction>();
+        auto txn = _txns.acquire();
         txn->isRead = true;
         txn->address = vs.address + index * vs.stride;
         txn->size = streamFormatBytes(vs.format);

@@ -19,12 +19,16 @@ TextureUnit::TextureUnit(sim::SignalBinder& binder,
              FbCache::Config{config.textureCacheKB,
                              config.textureCacheWays,
                              config.textureCacheLine,
-                             config.textureCachePorts, 4},
+                             config.textureCachePorts, 4,
+                             config.memFastPath},
              stat("cacheHits"), stat("cacheMisses")),
       _statRequests(stat("requests")),
       _statBilinearOps(stat("bilinearOps")),
       _statBusy(stat("busyCycles"))
 {
+    _statRequests.setImmediate(!config.memFastPath);
+    _statBilinearOps.setImmediate(!config.memFastPath);
+    _statBusy.setImmediate(!config.memFastPath);
     const std::string id = std::to_string(unit);
     for (u32 s = 0; s < config.numShaders; ++s) {
         auto rx = std::make_unique<LinkRx<TexRequest>>();
@@ -82,8 +86,38 @@ TextureUnit::planRequest(Active& active)
     TextureEmulator::quadFootprint(desc, coords, req.lodBias, aniso,
                                    lod, majorAxis);
 
-    std::set<u32> lines;
     active.bilinearOps = 0;
+    if (_config.memFastPath) {
+        // Collect into reused scratch, then sort + deduplicate:
+        // the same ascending unique order a std::set yields,
+        // without its per-node allocations.
+        _lineScratch.clear();
+        for (u32 l = 0; l < 4; ++l) {
+            active.plans[l] = TextureEmulator::planSample(
+                desc, coords[l], lod, aniso, majorAxis);
+            active.bilinearOps += active.plans[l].bilinearOps;
+            for (const emu::TexelRef& ref :
+                 active.plans[l].texels) {
+                _lineScratch.push_back(
+                    ref.address -
+                    ref.address % _config.textureCacheLine);
+                // Texels may straddle a line boundary (DXT
+                // blocks).
+                const u32 end = ref.address + ref.bytes - 1;
+                _lineScratch.push_back(
+                    end - end % _config.textureCacheLine);
+            }
+        }
+        std::sort(_lineScratch.begin(), _lineScratch.end());
+        _lineScratch.erase(std::unique(_lineScratch.begin(),
+                                       _lineScratch.end()),
+                           _lineScratch.end());
+        active.lineAddrs.assign(_lineScratch.begin(),
+                                _lineScratch.end());
+        return;
+    }
+
+    std::set<u32> lines;
     for (u32 l = 0; l < 4; ++l) {
         active.plans[l] =
             TextureEmulator::planSample(desc, coords[l], lod, aniso,
@@ -105,17 +139,19 @@ TextureUnit::planRequest(Active& active)
 void
 TextureUnit::process(Cycle cycle)
 {
-    if (!_active) {
+    if (!_activeLive) {
         if (_queue.empty())
             return;
-        _active = std::make_unique<Active>();
-        _active->req = _queue.front();
-        _queue.pop_front();
-        planRequest(*_active);
+        _active.req = _queue.pop_front();
+        _active.nextLine = 0;
+        _active.filtering = false;
+        _active.filterDoneAt = 0;
+        _activeLive = true;
+        planRequest(_active);
         _statRequests.inc();
     }
 
-    Active& active = *_active;
+    Active& active = _active;
     _statBusy.inc();
 
     if (!active.filtering) {
@@ -152,8 +188,9 @@ TextureUnit::process(Cycle cycle)
     }
 
     if (cycle >= active.filterDoneAt) {
-        _done.push_back(active.req);
-        _active.reset();
+        _done.push_back(std::move(active.req));
+        active.req.reset();
+        _activeLive = false;
     }
 }
 
@@ -161,12 +198,10 @@ void
 TextureUnit::finish(Cycle cycle)
 {
     while (!_done.empty()) {
-        const TexRequestPtr& resp = _done.front();
-        LinkTx& out = *_respOut[resp->shaderId];
+        LinkTx& out = *_respOut[_done.front()->shaderId];
         if (!out.canSend(cycle))
             return;
-        out.send(cycle, _done.front());
-        _done.pop_front();
+        out.send(cycle, _done.pop_front());
     }
 }
 
@@ -183,12 +218,15 @@ TextureUnit::update(Cycle cycle)
     process(cycle);
     acceptRequests(cycle);
     _cache.clock(cycle, _mem, MemClient::TextureCache);
+    _statRequests.commit();
+    _statBilinearOps.commit();
+    _statBusy.commit();
 }
 
 bool
 TextureUnit::empty() const
 {
-    if (_active || !_queue.empty() || !_done.empty())
+    if (_activeLive || !_queue.empty() || !_done.empty())
         return false;
     for (const auto& rx : _reqIn) {
         if (!rx->empty())

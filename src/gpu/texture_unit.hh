@@ -12,7 +12,6 @@
 #ifndef ATTILA_GPU_TEXTURE_UNIT_HH
 #define ATTILA_GPU_TEXTURE_UNIT_HH
 
-#include <deque>
 #include <set>
 
 #include "emu/texture_emulator.hh"
@@ -20,6 +19,7 @@
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
 #include "sim/box.hh"
+#include "sim/ring_queue.hh"
 
 namespace attila::gpu
 {
@@ -66,14 +66,20 @@ class TextureUnit : public sim::Box
     MemPort _mem;
     FbCache _cache;
 
-    std::deque<TexRequestPtr> _queue;
-    std::unique_ptr<Active> _active;
-    std::deque<TexRequestPtr> _done; ///< Awaiting response credit.
+    sim::RingQueue<TexRequestPtr> _queue;
+    /** Storage reused across requests (plans and line lists keep
+     * their capacity); _activeLive marks occupancy. */
+    Active _active;
+    bool _activeLive = false;
+    sim::RingQueue<TexRequestPtr> _done; ///< Awaiting resp credit.
     u32 _rrNext = 0;
+    /** Reused line-collection scratch (sorted + deduplicated, same
+     * order a std::set yields). */
+    std::vector<u32> _lineScratch;
 
-    sim::Statistic& _statRequests;
-    sim::Statistic& _statBilinearOps;
-    sim::Statistic& _statBusy;
+    sim::BatchedStat _statRequests;
+    sim::BatchedStat _statBilinearOps;
+    sim::BatchedStat _statBusy;
 };
 
 } // namespace attila::gpu

@@ -145,6 +145,25 @@ class MemTransaction : public sim::DynamicObject
     std::vector<u8> data;    ///< Write payload / read result.
     MemClient client = MemClient::Streamer;
     u64 tag = 0;             ///< Requester-private identifier.
+    /** Host-side bookkeeping: bursts still in flight inside the
+     * memory controller.  Not modeled state. */
+    u32 hostBurstsLeft = 0;
+
+    /** Recycle hook for sim::ObjectPool: reset all fields but keep
+     * the payload vector's capacity, so steady-state transactions
+     * allocate nothing. */
+    void
+    poolReset()
+    {
+        resetDynamicState();
+        isRead = true;
+        address = 0;
+        size = 0;
+        data.clear();
+        client = MemClient::Streamer;
+        tag = 0;
+        hostBurstsLeft = 0;
+    }
 };
 
 using MemTransactionPtr = std::shared_ptr<MemTransaction>;
@@ -164,6 +183,24 @@ class TexRequest : public sim::DynamicObject
     RenderStatePtr state;
     /** Response payload. */
     std::array<emu::Vec4, 4> texels{};
+
+    /** Recycle hook for sim::ObjectPool: the shader units pool quad
+     * texture requests on the memory fast path. */
+    void
+    poolReset()
+    {
+        resetDynamicState();
+        shaderId = 0;
+        threadTag = 0;
+        textureUnit = 0;
+        target = emu::TexTarget::Tex2D;
+        coords.fill(emu::Vec4());
+        active.fill(false);
+        lodBias = 0.0f;
+        projected = false;
+        state.reset();
+        texels.fill(emu::Vec4());
+    }
 };
 
 using TexRequestPtr = std::shared_ptr<TexRequest>;

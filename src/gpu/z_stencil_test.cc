@@ -94,13 +94,18 @@ ZStencilTest::ZStencilTest(sim::SignalBinder& binder,
       _memory(memory),
       _cache("zcache" + std::to_string(unit),
              FbCache::Config{config.zCacheKB, config.zCacheWays,
-                             config.zCacheLine, 4, 4},
+                             config.zCacheLine, 4, 4,
+                             config.memFastPath},
              stat("cacheHits"), stat("cacheMisses"), &_backing),
       _statQuads(stat("quads")),
       _statFragsTested(stat("fragmentsTested")),
       _statFragsPassed(stat("fragmentsPassed")),
       _statBusy(stat("busyCycles"))
 {
+    _statQuads.setImmediate(!config.memFastPath);
+    _statFragsTested.setImmediate(!config.memFastPath);
+    _statFragsPassed.setImmediate(!config.memFastPath);
+    _statBusy.setImmediate(!config.memFastPath);
     const std::string id = std::to_string(unit);
     _earlyIn.init(*this, binder, "hz.ropz" + id, 16, 1, 16);
     _lateIn.init(*this, binder, "ffifo.ropz" + id + ".late", 2, 1,
@@ -122,7 +127,9 @@ ZStencilTest::ZStencilTest(sim::SignalBinder& binder,
 void
 ZStencilTest::HzEnqueue::operator()(u32 tileIndex, f32 maxZ) const
 {
-    auto upd = std::make_shared<HzUpdateObj>();
+    auto upd = owner->_config.memFastPath
+                   ? owner->_hzPool.acquire()
+                   : std::make_shared<HzUpdateObj>();
     upd->tileIndex = tileIndex;
     upd->maxZ = maxZ;
     owner->_hzQueue.push_back(std::move(upd));
@@ -359,13 +366,14 @@ ZStencilTest::drainOutputs(Cycle cycle)
     while (!_delayInterp.empty() &&
            _delayInterp.front().readyAt <= cycle &&
            _toInterp.canSend(cycle)) {
-        _toInterp.send(cycle, _delayInterp.front().quad);
+        _toInterp.send(cycle,
+                       std::move(_delayInterp.front().quad));
         _delayInterp.pop_front();
     }
     while (!_delayRopc.empty() &&
            _delayRopc.front().readyAt <= cycle &&
            _toRopc.canSend(cycle)) {
-        _toRopc.send(cycle, _delayRopc.front().quad);
+        _toRopc.send(cycle, std::move(_delayRopc.front().quad));
         _delayRopc.pop_front();
     }
 }
@@ -374,7 +382,7 @@ void
 ZStencilTest::sendHzUpdates(Cycle cycle)
 {
     while (!_hzQueue.empty() && _hzUpdates.canSend(cycle)) {
-        _hzUpdates.send(cycle, _hzQueue.front());
+        _hzUpdates.send(cycle, std::move(_hzQueue.front()));
         _hzQueue.pop_front();
     }
 }
@@ -393,7 +401,7 @@ ZStencilTest::update(Cycle cycle)
 
     processControl(cycle);
     if (_ctrlPhase == CtrlPhase::None) {
-        const u64 quadsBefore = _statQuads.total();
+        const u64 quadsBefore = _statQuads.liveTotal();
         drainOutputs(cycle);
         processLate(cycle);
         processEarly(cycle);
@@ -410,11 +418,15 @@ ZStencilTest::update(Cycle cycle)
             if (depthOnlyHead(_earlyIn))
                 processEarly(cycle);
         }
-        if (_statQuads.total() != quadsBefore)
+        if (_statQuads.liveTotal() != quadsBefore)
             _statBusy.inc();
         _cache.clock(cycle, _mem, MemClient::ZCache);
     }
     sendHzUpdates(cycle);
+    _statQuads.commit();
+    _statFragsTested.commit();
+    _statFragsPassed.commit();
+    _statBusy.commit();
 }
 
 bool

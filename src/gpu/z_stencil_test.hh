@@ -21,7 +21,6 @@
 #ifndef ATTILA_GPU_Z_STENCIL_TEST_HH
 #define ATTILA_GPU_Z_STENCIL_TEST_HH
 
-#include <deque>
 #include <set>
 
 #include "emu/memory.hh"
@@ -32,6 +31,7 @@
 #include "gpu/link.hh"
 #include "sim/box.hh"
 #include "sim/function_ref.hh"
+#include "sim/ring_queue.hh"
 
 namespace attila::gpu
 {
@@ -130,9 +130,10 @@ class ZStencilTest : public sim::Box
         Cycle readyAt;
         WorkObjectPtr quad; ///< Quad or batch marker.
     };
-    std::deque<Delayed> _delayInterp;
-    std::deque<Delayed> _delayRopc;
-    std::deque<std::shared_ptr<HzUpdateObj>> _hzQueue;
+    sim::RingQueue<Delayed> _delayInterp;
+    sim::RingQueue<Delayed> _delayRopc;
+    sim::RingQueue<std::shared_ptr<HzUpdateObj>> _hzQueue;
+    sim::ObjectPool<HzUpdateObj> _hzPool;
 
     /** Persistent callable behind _backing.hzHook (the hook is a
      * non-owning FunctionRef, so it must reference a member). */
@@ -143,10 +144,10 @@ class ZStencilTest : public sim::Box
     };
     HzEnqueue _hzEnqueue{this};
 
-    sim::Statistic& _statQuads;
-    sim::Statistic& _statFragsTested;
-    sim::Statistic& _statFragsPassed;
-    sim::Statistic& _statBusy;
+    sim::BatchedStat _statQuads;
+    sim::BatchedStat _statFragsTested;
+    sim::BatchedStat _statFragsPassed;
+    sim::BatchedStat _statBusy;
 };
 
 } // namespace attila::gpu

@@ -81,6 +81,21 @@ class DynamicObject
         return s;
     }
 
+    /**
+     * Reset the base-class state for pool recycling: a recycled
+     * object gets a fresh identity (so traces never conflate two
+     * logical objects) while the info string and cookie trail keep
+     * their heap buffers (clear(), not reallocation).
+     */
+    void
+    resetDynamicState()
+    {
+        _id = nextId();
+        _color = 0;
+        _info.clear();
+        _cookies.clear();
+    }
+
   private:
     static u64
     nextId()

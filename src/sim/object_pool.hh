@@ -72,9 +72,16 @@ class ObjectPool
         }
         if (raw) {
             st.recycled.fetch_add(1, std::memory_order_relaxed);
-            // Re-run the constructor in place on recycled storage.
-            raw->~T();
-            new (raw) T(std::forward<Args>(args)...);
+            // Types with a poolReset() keep their heap buffers
+            // (payload vectors, strings) across recycling; everything
+            // else re-runs the constructor in place.
+            if constexpr (sizeof...(Args) == 0 &&
+                          requires(T& t) { t.poolReset(); }) {
+                raw->poolReset();
+            } else {
+                raw->~T();
+                new (raw) T(std::forward<Args>(args)...);
+            }
         } else {
             st.allocated.fetch_add(1, std::memory_order_relaxed);
             raw = static_cast<T*>(::operator new(sizeof(T)));

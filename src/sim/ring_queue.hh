@@ -1,0 +1,109 @@
+/**
+ * @file
+ * RingQueue: a power-of-two circular FIFO used on simulator hot
+ * paths in place of std::deque.
+ *
+ * std::deque allocates and frees its block map nodes as elements
+ * cross block boundaries, so a steady-state producer/consumer pair
+ * still churns the allocator.  RingQueue keeps one contiguous
+ * buffer that only grows (doubling) when the population exceeds the
+ * current capacity; after warm-up, push/pop are index arithmetic
+ * with no allocation.  Element order and FIFO semantics match the
+ * deque usage it replaces.
+ */
+
+#ifndef ATTILA_SIM_RING_QUEUE_HH
+#define ATTILA_SIM_RING_QUEUE_HH
+
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace attila::sim
+{
+
+/** Growable circular FIFO with allocation-free steady state. */
+template <typename T>
+class RingQueue
+{
+  public:
+    explicit RingQueue(std::size_t initial_capacity = 8)
+    {
+        reserve(initial_capacity);
+    }
+
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+    std::size_t capacity() const { return _slots.size(); }
+
+    T& front() { return _slots[_head]; }
+    const T& front() const { return _slots[_head]; }
+
+    /** Element @p i positions behind the head (0 == front). */
+    T& at(std::size_t i) { return _slots[(_head + i) & _mask]; }
+    const T&
+    at(std::size_t i) const
+    {
+        return _slots[(_head + i) & _mask];
+    }
+
+    void
+    push_back(T value)
+    {
+        if (_count == _slots.size())
+            grow();
+        _slots[(_head + _count) & _mask] = std::move(value);
+        ++_count;
+    }
+
+    T
+    pop_front()
+    {
+        T value = std::move(_slots[_head]);
+        _slots[_head] = T{};
+        _head = (_head + 1) & _mask;
+        --_count;
+        return value;
+    }
+
+    /** Drop every element; capacity is retained. */
+    void
+    clear()
+    {
+        while (_count != 0)
+            pop_front();
+        _head = 0;
+    }
+
+  private:
+    void
+    reserve(std::size_t capacity)
+    {
+        std::size_t pow2 = 1;
+        while (pow2 < capacity)
+            pow2 <<= 1;
+        _slots.resize(pow2);
+        _mask = pow2 - 1;
+    }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(_slots.size() * 2);
+        for (std::size_t i = 0; i < _count; ++i)
+            bigger[i] = std::move(_slots[(_head + i) & _mask]);
+        _slots = std::move(bigger);
+        _mask = _slots.size() - 1;
+        _head = 0;
+    }
+
+    std::vector<T> _slots;
+    std::size_t _mask = 0;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+};
+
+} // namespace attila::sim
+
+#endif // ATTILA_SIM_RING_QUEUE_HH

@@ -66,6 +66,57 @@ class Statistic
 };
 
 /**
+ * Deferred accumulator for hot-loop counting.
+ *
+ * Incrementing a Statistic from an inner loop chases the reference
+ * and touches two u64s per event.  A BatchedStat accumulates into a
+ * plain local counter and folds the sum into the Statistic once per
+ * clock (commit() at the end of the owning box's update), which is
+ * observably identical as long as commits happen before the
+ * StatisticManager closes the cycle's sampling window — the
+ * simulator closes windows between master ticks, after every box
+ * has updated.  setImmediate(true) restores the straight-through
+ * reference path for A/B runs.
+ */
+class BatchedStat
+{
+  public:
+    explicit BatchedStat(Statistic& stat) : _stat(stat) {}
+
+    void
+    inc(u64 n = 1)
+    {
+        if (_immediate)
+            _stat.inc(n);
+        else
+            _pending += n;
+    }
+
+    /** Events accumulated since the last commit. */
+    u64 pending() const { return _pending; }
+
+    /** Committed total plus pending events — what total() will
+     * read after the next commit.  Valid in both modes. */
+    u64 liveTotal() const { return _stat.total() + _pending; }
+
+    void
+    commit()
+    {
+        if (_pending) {
+            _stat.inc(_pending);
+            _pending = 0;
+        }
+    }
+
+    void setImmediate(bool immediate) { _immediate = immediate; }
+
+  private:
+    Statistic& _stat;
+    u64 _pending = 0;
+    bool _immediate = false;
+};
+
+/**
  * Name server that registers, samples and dumps statistics.
  *
  * Threading contract under the parallel scheduler: registration
