@@ -13,10 +13,13 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "gl/context.hh"
 #include "gpu/gpu.hh"
+#include "sim/config_file.hh"
 #include "sim/out_dir.hh"
 #include "workloads/cubes.hh"
 #include "workloads/shadows.hh"
@@ -50,6 +53,8 @@ struct BenchOptions
     std::optional<bool> idleSkip;
     std::optional<bool> emuFastPath;
     std::optional<bool> memFastPath;
+    std::optional<std::string> configFile; ///< --config <file>.
+    std::vector<std::string> sets;         ///< --set key=value, in order.
 };
 
 inline BenchOptions&
@@ -60,11 +65,11 @@ options()
 }
 
 /**
- * Consume `--scheduler=serial|parallel`, `--threads=N` and
- * `--idle-skip=0|1` from argv, compacting the array in place so
- * downstream parsers (e.g. google-benchmark's Initialize) never see
- * them.  Unrecognised arguments are left alone.  Exits with a
- * diagnostic on a malformed value.
+ * Consume the shared bench flags from argv, compacting the array in
+ * place so downstream parsers (google-benchmark's Initialize) only
+ * see their own `--benchmark_*` flags and positional arguments.
+ * Exits with a diagnostic on a malformed value or an unrecognised
+ * `--flag`.
  */
 inline void
 parseArgs(int& argc, char** argv)
@@ -73,20 +78,37 @@ parseArgs(int& argc, char** argv)
         std::cerr << "error: bad bench flag '" << arg << "'\n"
                   << "usage: --scheduler=serial|parallel "
                      "--threads=N --idle-skip=0|1 "
-                     "--emu-fastpath=0|1 --mem-fastpath=0|1\n";
+                     "--emu-fastpath=0|1 --mem-fastpath=0|1 "
+                     "--config <file> --set section.key=value\n";
         std::exit(2);
+    };
+    // Value of `--flag=v` or the following argv slot (`--flag v`).
+    const auto valueOf = [&](const std::string& flag, int& i,
+                             const std::string& arg) {
+        if (arg.size() > flag.size() && arg[flag.size()] == '=')
+            return arg.substr(flag.size() + 1);
+        if (i + 1 >= argc)
+            bad(arg);
+        return std::string(argv[++i]);
     };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--scheduler=", 0) == 0) {
             const std::string v = arg.substr(12);
-            if (v == "serial")
-                options().scheduler = gpu::SchedulerKind::Serial;
-            else if (v == "parallel")
-                options().scheduler = gpu::SchedulerKind::Parallel;
-            else
+            const auto kind =
+                gpu::enumFromName<gpu::SchedulerKind>(v);
+            if (!kind)
                 bad(arg);
+            options().scheduler = *kind;
+        } else if (arg == "--config" ||
+                   arg.rfind("--config=", 0) == 0) {
+            options().configFile = valueOf("--config", i, arg);
+        } else if (arg == "--set" || arg.rfind("--set=", 0) == 0) {
+            const std::string v = valueOf("--set", i, arg);
+            if (v.find('=') == std::string::npos)
+                bad(arg);
+            options().sets.push_back(v);
         } else if (arg.rfind("--threads=", 0) == 0) {
             const std::string v = arg.substr(10);
             char* end = nullptr;
@@ -118,6 +140,11 @@ parseArgs(int& argc, char** argv)
                 options().memFastPath = false;
             else
                 bad(arg);
+        } else if (arg.rfind("--benchmark_", 0) == 0) {
+            // google-benchmark's own flags pass through untouched.
+            argv[out++] = argv[i];
+        } else if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
+            bad(arg);
         } else {
             argv[out++] = argv[i];
         }
@@ -125,20 +152,36 @@ parseArgs(int& argc, char** argv)
     argc = out;
 }
 
-/** Apply the parsed overrides to a run's config. */
+/**
+ * Apply the parsed overrides to a run's config.  Layering order
+ * (later wins): workload defaults < `--config` file < `ATTILA_*`
+ * environment < discrete flags < `--set` assignments.  Environment
+ * overrides are consumed here, so the Gpu constructor sees
+ * `envApplied` and does not re-apply them on top.
+ */
 inline void
 applyOptions(gpu::GpuConfig& config)
 {
-    if (options().scheduler)
-        config.scheduler = *options().scheduler;
-    if (options().threads)
-        config.schedulerThreads = *options().threads;
-    if (options().idleSkip)
-        config.idleSkip = *options().idleSkip;
-    if (options().emuFastPath)
-        config.emuFastPath = *options().emuFastPath;
-    if (options().memFastPath)
-        config.memFastPath = *options().memFastPath;
+    try {
+        if (options().configFile)
+            config.applyFile(*options().configFile);
+        config.applyEnvOverrides();
+        if (options().scheduler)
+            config.scheduler = *options().scheduler;
+        if (options().threads)
+            config.schedulerThreads = *options().threads;
+        if (options().idleSkip)
+            config.idleSkip = *options().idleSkip;
+        if (options().emuFastPath)
+            config.emuFastPath = *options().emuFastPath;
+        if (options().memFastPath)
+            config.memFastPath = *options().memFastPath;
+        for (const std::string& assignment : options().sets)
+            config.applySet(assignment);
+    } catch (const sim::ConfigError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        std::exit(2);
+    }
 }
 
 /** Outcome of one simulated run. */
@@ -207,13 +250,21 @@ buildCommands(workloads::Workload& workload)
  * scheduler fields reflect the effective config (after environment
  * overrides), so speedup sweeps can be driven externally.
  */
+/** Sixteen-digit hex rendering of GpuConfig::configHash(), the
+ * scenario identity carried on every BENCH_JSON line. */
+inline std::string
+configHashHex(const gpu::GpuConfig& config)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << config.configHash();
+    return os.str();
+}
+
 inline void
 emitJson(const std::string& label, const RunResult& result)
 {
     const gpu::GpuConfig& c = result.gpu->config();
-    const char* sched =
-        c.scheduler == gpu::SchedulerKind::Parallel ? "parallel"
-                                                    : "serial";
     std::cout << "BENCH_JSON {\"bench\":\"" << benchName()
               << "\",\"label\":\"" << label
               << "\",\"cycles\":" << result.cycles
@@ -222,13 +273,18 @@ emitJson(const std::string& label, const RunResult& result)
               << ",\"wall_s\":" << std::setprecision(6)
               << result.wallSeconds << ",\"khz\":"
               << std::setprecision(3) << result.simKHz()
-              << ",\"scheduler\":\"" << sched
+              << ",\"scheduler\":\"" << gpu::enumName(c.scheduler)
               << "\",\"threads\":" << c.schedulerThreads
               << ",\"idle_skip\":" << (c.idleSkip ? "true" : "false")
               << ",\"emu_fastpath\":"
               << (c.emuFastPath ? "true" : "false")
               << ",\"mem_fastpath\":"
-              << (c.memFastPath ? "true" : "false") << "}\n"
+              << (c.memFastPath ? "true" : "false")
+              << ",\"mem_model\":\"" << gpu::enumName(c.memModel)
+              << "\",\"dram_scheduler\":\""
+              << gpu::enumName(c.dramScheduler)
+              << "\",\"config_hash\":\"" << configHashHex(c)
+              << "\"}\n"
               << std::defaultfloat;
 }
 

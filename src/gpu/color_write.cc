@@ -20,7 +20,8 @@ ColorWrite::ColorWrite(sim::SignalBinder& binder,
       _cache("colorcache" + std::to_string(unit),
              FbCache::Config{config.colorCacheKB,
                              config.colorCacheWays,
-                             config.colorCacheLine, 4, 4,
+                             config.colorCacheLine, 4,
+                             config.colorCacheMshr,
                              config.memFastPath},
              stat("cacheHits"), stat("cacheMisses"), &_backing),
       _statQuads(stat("quads")),

@@ -12,52 +12,19 @@ namespace
 {
 
 /**
- * Environment overrides for the execution engine, so every binary
- * (tests, benches, examples) can be switched without a config knob:
- * ATTILA_SCHEDULER=serial|parallel, ATTILA_SCHED_THREADS=N.
+ * Environment layering for direct Gpu construction (tests, examples,
+ * embedded hosts): ATTILA_CONFIG / ATTILA_CONFIG_SET plus the legacy
+ * per-knob toggles, all parsed by GpuConfig::applyEnvOverrides()
+ * against the shared string<->enum tables.  A config that already
+ * went through a harness's explicit layering (envApplied) passes
+ * through untouched, so `--set` overrides stay on top of the
+ * environment.
  */
 GpuConfig
 applyEnvOverrides(GpuConfig config)
 {
-    if (const char* env = std::getenv("ATTILA_SCHEDULER")) {
-        const std::string kind(env);
-        if (kind == "serial") {
-            config.scheduler = SchedulerKind::Serial;
-        } else if (kind == "parallel") {
-            config.scheduler = SchedulerKind::Parallel;
-        } else if (!kind.empty()) {
-            fatal("ATTILA_SCHEDULER='", kind,
-                  "': expected 'serial' or 'parallel'");
-        }
-    }
-    if (const char* env = std::getenv("ATTILA_SCHED_THREADS")) {
-        config.schedulerThreads =
-            static_cast<u32>(std::strtoul(env, nullptr, 10));
-    }
-    if (const char* env = std::getenv("ATTILA_IDLE_SKIP")) {
-        const std::string flag(env);
-        if (flag == "0" || flag == "false" || flag == "off") {
-            config.idleSkip = false;
-        } else if (flag == "1" || flag == "true" || flag == "on") {
-            config.idleSkip = true;
-        } else if (!flag.empty()) {
-            fatal("ATTILA_IDLE_SKIP='", flag,
-                  "': expected 0|1|false|true|off|on");
-        }
-    }
-    if (const auto fast = emu::envFastPathOverride())
-        config.emuFastPath = *fast;
-    if (const char* env = std::getenv("ATTILA_MEM_FASTPATH")) {
-        const std::string flag(env);
-        if (flag == "0" || flag == "false" || flag == "off") {
-            config.memFastPath = false;
-        } else if (flag == "1" || flag == "true" || flag == "on") {
-            config.memFastPath = true;
-        } else if (!flag.empty()) {
-            fatal("ATTILA_MEM_FASTPATH='", flag,
-                  "': expected 0|1|false|true|off|on");
-        }
-    }
+    if (!config.envApplied)
+        config.applyEnvOverrides();
     return config;
 }
 

@@ -1,14 +1,27 @@
 /**
  * @file
- * GpuConfig: the simulator's configuration file (paper §3: "over 100
+ * GpuConfig: the simulator's configuration (paper §3: "over 100
  * parameters").  Defaults reproduce the baseline architecture of
  * Tables 1 and 2.
+ *
+ * Every field is reachable without a rebuild through the layered
+ * text-configuration system (sim/config_file.hh):
+ *
+ *   defaults  <  --config file  <  ATTILA_CONFIG file
+ *             <  ATTILA_CONFIG_SET / legacy ATTILA_* env vars
+ *             <  --set section.key=value
+ *
+ * fromFile()/toFile() round-trip the full parameter set;
+ * toConfigText() is the canonical dump whose FNV-1a hash keys
+ * BENCH_JSON lines and sweep result stores.
  */
 
 #ifndef ATTILA_GPU_GPU_CONFIG_HH
 #define ATTILA_GPU_GPU_CONFIG_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "sim/types.hh"
 
@@ -37,6 +50,144 @@ enum class SchedulerKind : u8
 {
     Serial,   ///< Single-threaded reference engine.
     Parallel, ///< Worker pool, one barrier per phase.
+};
+
+/** Memory controller timing model. */
+enum class MemModel : u8
+{
+    Flat,   ///< Flat burst latency + page-open/turnaround penalties.
+    Banked, ///< Banked GDDR: row state + RCD/RAS/RP/RC/CL/WL/WR.
+};
+
+/** DRAM request scheduling policy (banked model only). */
+enum class DramSchedPolicy : u8
+{
+    Fifo,   ///< Oldest first (matches the flat model's order).
+    FrFcfs, ///< Row-hit first, oldest within a class (FR-FCFS).
+};
+
+// ===== String <-> enum tables =====================================
+// The single source of truth for every textual spelling of a config
+// enum, shared by the config-file loader, the bench --flags and the
+// ATTILA_* environment overrides.  Adding an enumerator means adding
+// exactly one table row.
+
+/** One name↔value binding of a config enum. */
+template <typename E>
+struct EnumName
+{
+    const char* name;
+    E value;
+};
+
+template <typename E>
+struct EnumNames; // Specialized per enum below.
+
+template <>
+struct EnumNames<ShaderScheduling>
+{
+    static constexpr EnumName<ShaderScheduling> table[] = {
+        {"threadwindow", ShaderScheduling::ThreadWindow},
+        {"inorder", ShaderScheduling::InOrderQueue},
+    };
+};
+
+template <>
+struct EnumNames<FragmentGenKind>
+{
+    static constexpr EnumName<FragmentGenKind> table[] = {
+        {"recursive", FragmentGenKind::Recursive},
+        {"scanline", FragmentGenKind::Scanline},
+    };
+};
+
+template <>
+struct EnumNames<SchedulerKind>
+{
+    static constexpr EnumName<SchedulerKind> table[] = {
+        {"serial", SchedulerKind::Serial},
+        {"parallel", SchedulerKind::Parallel},
+    };
+};
+
+template <>
+struct EnumNames<MemModel>
+{
+    static constexpr EnumName<MemModel> table[] = {
+        {"flat", MemModel::Flat},
+        {"banked", MemModel::Banked},
+    };
+};
+
+template <>
+struct EnumNames<DramSchedPolicy>
+{
+    static constexpr EnumName<DramSchedPolicy> table[] = {
+        {"fifo", DramSchedPolicy::Fifo},
+        {"frfcfs", DramSchedPolicy::FrFcfs},
+    };
+};
+
+/** Canonical spelling of @p value. */
+template <typename E>
+constexpr const char*
+enumName(E value)
+{
+    for (const auto& entry : EnumNames<E>::table) {
+        if (entry.value == value)
+            return entry.name;
+    }
+    return "?";
+}
+
+/** Parse @p name; nullopt when it matches no table row. */
+template <typename E>
+constexpr std::optional<E>
+enumFromName(std::string_view name)
+{
+    for (const auto& entry : EnumNames<E>::table) {
+        if (name == entry.name)
+            return entry.value;
+    }
+    return std::nullopt;
+}
+
+/** "a|b|c" choice list for usage and error messages. */
+template <typename E>
+std::string
+enumChoices()
+{
+    std::string out;
+    for (const auto& entry : EnumNames<E>::table) {
+        if (!out.empty())
+            out += '|';
+        out += entry.name;
+    }
+    return out;
+}
+
+/**
+ * A gpgpu-sim-style cache geometry: `<sets>:<bsize>:<assoc>,<mshr
+ * type>:<N>` (e.g. "16:256:4,A:8").  The MSHR clause is optional;
+ * the type letter is accepted for spec compatibility and ignored.
+ * Feeds the FbCache SoA geometry, so sets and bsize must be powers
+ * of two.
+ */
+struct CacheGeometry
+{
+    u32 sets = 16;
+    u32 lineBytes = 256;
+    u32 ways = 4;
+    u32 mshr = 4;
+
+    u32 sizeKB() const { return sets * lineBytes * ways / 1024; }
+
+    bool operator==(const CacheGeometry&) const = default;
+
+    /** Throws sim::ConfigError on malformed or non-pow2 input. */
+    static CacheGeometry parse(const std::string& spec);
+
+    std::string format() const;
 };
 
 /** The full configuration of a simulated ATTILA GPU. */
@@ -68,6 +219,7 @@ struct GpuConfig
     u32 textureCacheWays = 4;
     u32 textureCacheLine = 256;
     u32 textureCachePorts = 4; ///< Texel reads per cycle.
+    u32 textureCacheMshr = 4;  ///< Concurrent misses in flight.
     u32 textureRequestQueue = 16;
 
     // ===== ROPs =====================================================
@@ -77,9 +229,11 @@ struct GpuConfig
     u32 zCacheKB = 16;
     u32 zCacheWays = 4;
     u32 zCacheLine = 256;
+    u32 zCacheMshr = 4;
     u32 colorCacheKB = 16;
     u32 colorCacheWays = 4;
     u32 colorCacheLine = 256;
+    u32 colorCacheMshr = 4;
     bool zCompression = true;
     bool fastClear = true;
     u32 clearCycles = 8;     ///< Fast clear latency.
@@ -123,11 +277,28 @@ struct GpuConfig
     u32 channelBytesPerCycle = 16; ///< 64-bit DDR: 16 B/cycle.
     u32 memoryBurstBytes = 64;     ///< One transaction burst.
     u32 channelInterleave = 256;   ///< Bytes per channel stripe.
-    u32 memoryPageBytes = 4096;
-    u32 pageOpenPenalty = 8;       ///< Cycles on page change.
-    u32 readWriteTurnaround = 4;   ///< Cycles on rd<->wr switch.
+    u32 memoryPageBytes = 4096;    ///< DRAM row (page) size.
+    u32 pageOpenPenalty = 8;       ///< Flat model: page-change cost.
+    u32 readWriteTurnaround = 4;   ///< Flat model: rd<->wr switch.
     u32 memoryRequestQueue = 16;   ///< Per-client request queue.
     u32 systemBusBytesPerCycle = 16; ///< PCIe-like: 2 x 8 B/cycle.
+    /** DRAM timing model.  Flat reproduces the historical burst
+     * latency bit for bit; Banked adds per-channel banks with row
+     * open/close state driven by dramTiming. */
+    MemModel memModel = MemModel::Flat;
+    /** Banked-model request scheduling policy. */
+    DramSchedPolicy dramScheduler = DramSchedPolicy::Fifo;
+    /** Banked-model timing string (see gpu/dram_timing.hh). */
+    std::string dramTiming =
+        "nbk=8:CCD=2:RRD=8:RCD=12:RAS=25:RP=10:RC=35:CL=10:WL=7"
+        ":WR=11";
+    /** FR-FCFS starvation cap: once the oldest pending burst has
+     * been overtaken this many times, it is scheduled next
+     * regardless of row hits behind it. */
+    u32 frfcfsCap = 64;
+    /** FR-FCFS scheduling window: pending bursts examined per
+     * decision (gpgpu-sim's frfcfs_dram_sched_queue_size). */
+    u32 frfcfsWindow = 16;
 
     // ===== Execution engine =========================================
     /** Box-loop engine; overridable via ATTILA_SCHEDULER
@@ -163,6 +334,14 @@ struct GpuConfig
     // ===== Statistics / debugging ===================================
     u64 statsWindow = 10000; ///< Sampling window in cycles.
     std::string signalTracePath; ///< Empty disables tracing.
+
+    // ===== Host bookkeeping (not configuration state) ===============
+    /** Set once applyEnvOverrides() ran, so the Gpu constructor does
+     * not re-apply the environment over explicit `--set` overrides
+     * (precedence: file < env < --set). */
+    bool envApplied = false;
+
+    bool operator==(const GpuConfig&) const = default;
 
     /** Baseline configuration of Tables 1 and 2. */
     static GpuConfig
@@ -209,6 +388,51 @@ struct GpuConfig
         c.colorCacheKB = 4;
         return c;
     }
+
+    // ===== Text configuration (gpu/gpu_config.cc) ===================
+
+    /** baseline() overlaid with @p path (no environment layering). */
+    static GpuConfig fromFile(const std::string& path);
+
+    /** Parse @p text as a config file named @p name over baseline. */
+    static GpuConfig fromConfigText(
+        const std::string& text,
+        const std::string& name = "<config>");
+
+    /** Overlay @p path onto this config (absent keys keep their
+     * current values, so partial sweep files compose). */
+    void applyFile(const std::string& path);
+
+    /** Overlay config text (see applyFile). */
+    void applyText(const std::string& text,
+                   const std::string& name = "<config>");
+
+    /** Apply one "section.key=value" override (the --set layer). */
+    void applySet(const std::string& assignment,
+                  const std::string& origin = "--set");
+
+    /**
+     * Apply the environment layer: ATTILA_CONFIG (a config file
+     * path), ATTILA_CONFIG_SET (comma/semicolon-separated
+     * section.key=value overrides) and the legacy per-knob variables
+     * (ATTILA_SCHEDULER, ATTILA_SCHED_THREADS, ATTILA_IDLE_SKIP,
+     * ATTILA_EMU_FASTPATH, ATTILA_MEM_FASTPATH).  Idempotent per
+     * config: sets envApplied so the Gpu constructor skips its own
+     * application when a harness already layered the environment
+     * (keeping `--set` the highest-precedence layer).
+     */
+    void applyEnvOverrides();
+
+    /** Canonical full-parameter dump; fromConfigText() of it
+     * reproduces this config exactly. */
+    std::string toConfigText() const;
+
+    /** Write toConfigText() to @p path. */
+    void toFile(const std::string& path) const;
+
+    /** FNV-1a hash of toConfigText(): the scenario identity carried
+     * in BENCH_JSON lines and sweep result stores. */
+    u64 configHash() const;
 };
 
 } // namespace attila::gpu

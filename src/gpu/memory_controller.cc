@@ -16,15 +16,25 @@ MemoryController::MemoryController(sim::SignalBinder& binder,
       _config(config),
       _memory(memory),
       _fastPath(config.memFastPath),
+      _banked(config.memModel == MemModel::Banked),
+      _timing(DramTiming::parse(config.dramTiming)),
       _statReadBytes(stat("readBytes")),
       _statWriteBytes(stat("writeBytes")),
       _statBusyCycles(stat("busyCycles")),
       _statPageOpens(stat("pageOpens")),
-      _statTurnarounds(stat("turnarounds"))
+      _statTurnarounds(stat("turnarounds")),
+      _statRowHits(stat("rowHits")),
+      _statRowMisses(stat("rowMisses")),
+      _statRowConflicts(stat("rowConflicts")),
+      _statPrecharges(stat("precharges")),
+      _statActivates(stat("activates"))
 {
     _channels.resize(config.memoryChannels);
-    for (auto& ch : _channels)
+    for (auto& ch : _channels) {
         ch.queues.resize(client_ports.size());
+        if (_banked)
+            ch.banks.resize(_timing.nbk);
+    }
 
     for (const std::string& port : client_ports) {
         auto client = std::make_unique<ClientPort>();
@@ -61,6 +71,11 @@ MemoryController::MemoryController(sim::SignalBinder& binder,
     _statBusyCycles.setImmediate(immediate);
     _statPageOpens.setImmediate(immediate);
     _statTurnarounds.setImmediate(immediate);
+    _statRowHits.setImmediate(immediate);
+    _statRowMisses.setImmediate(immediate);
+    _statRowConflicts.setImmediate(immediate);
+    _statPrecharges.setImmediate(immediate);
+    _statActivates.setImmediate(immediate);
     for (auto& stat : _statClientBytes)
         stat.setImmediate(immediate);
 }
@@ -98,8 +113,11 @@ MemoryController::acceptRequests(Cycle cycle)
                 b.clientIdx = ci;
                 b.offset = offset;
                 b.size = size;
-                _channels[channelOf(addr)].queues[ci].push_back(
-                    std::move(b));
+                Channel& channel = _channels[channelOf(addr)];
+                if (_banked)
+                    channel.pending.push_back(std::move(b));
+                else
+                    channel.queues[ci].push_back(std::move(b));
                 offset += size;
                 ++bursts;
             }
@@ -112,9 +130,110 @@ MemoryController::acceptRequests(Cycle cycle)
     }
 }
 
+u32
+MemoryController::pickPending(Channel& ch)
+{
+    if (_config.dramScheduler == DramSchedPolicy::Fifo)
+        return 0;
+    // FR-FCFS: the first row hit inside the scheduling window goes
+    // first, unless the oldest burst has already been overtaken
+    // frfcfsCap times (starvation cap); with no hit the policy
+    // degenerates to FIFO.
+    if (ch.pending.front().bypassed >= _config.frfcfsCap)
+        return 0;
+    const u32 window = static_cast<u32>(
+        std::min<std::size_t>(ch.pending.size(),
+                              std::max(1u, _config.frfcfsWindow)));
+    for (u32 i = 0; i < window; ++i) {
+        const Burst& b = ch.pending.at(i);
+        const u32 addr = b.txn->address + b.offset;
+        const Bank& bank = ch.banks[bankOf(addr)];
+        if (bank.rowOpen && bank.openRow == rowOf(addr)) {
+            if (i != 0)
+                ++ch.pending.front().bypassed;
+            return i;
+        }
+    }
+    return 0;
+}
+
+void
+MemoryController::scheduleBanked(Cycle cycle)
+{
+    for (Channel& ch : _channels) {
+        if (ch.hasInflight || ch.pending.empty())
+            continue;
+        Burst b = ch.pending.remove_at(pickPending(ch));
+
+        const u32 addr = b.txn->address + b.offset;
+        const bool isWrite = !b.txn->isRead;
+        Bank& bank = ch.banks[bankOf(addr)];
+        const u64 row = rowOf(addr);
+        const u32 column = isWrite ? _timing.WL : _timing.CL;
+
+        // One command sequence occupies the channel end to end; bank
+        // timestamps carry the RAS/RC/RRD/WR constraints across
+        // bursts, so reordering (FR-FCFS) can never violate them.
+        Cycle ready = cycle;
+        if (bank.rowOpen && bank.openRow == row) {
+            _statRowHits.inc();
+        } else if (!bank.rowOpen) {
+            // Cold bank: activate the row (RCD), gated by the
+            // same-bank RC and cross-bank RRD activate windows.
+            Cycle actAt = cycle;
+            if (bank.everActivated)
+                actAt = std::max(actAt, bank.activateAt + _timing.RC);
+            if (ch.everActivated) {
+                actAt = std::max(actAt,
+                                 ch.lastActivateAt + _timing.RRD);
+            }
+            ready = actAt + _timing.RCD;
+            bank.rowOpen = true;
+            bank.openRow = row;
+            bank.everActivated = true;
+            bank.activateAt = actAt;
+            ch.everActivated = true;
+            ch.lastActivateAt = actAt;
+            _statRowMisses.inc();
+            _statActivates.inc();
+        } else {
+            // Row conflict: precharge the open row (honouring RAS
+            // and write recovery), then activate the new one.
+            Cycle preAt = std::max(cycle, bank.prechargeReadyAt);
+            preAt = std::max(preAt, bank.activateAt + _timing.RAS);
+            Cycle actAt = preAt + _timing.RP;
+            actAt = std::max(actAt, bank.activateAt + _timing.RC);
+            if (ch.everActivated) {
+                actAt = std::max(actAt,
+                                 ch.lastActivateAt + _timing.RRD);
+            }
+            ready = actAt + _timing.RCD;
+            bank.openRow = row;
+            bank.activateAt = actAt;
+            ch.lastActivateAt = actAt;
+            _statRowConflicts.inc();
+            _statPrecharges.inc();
+            _statActivates.inc();
+        }
+        const Cycle dataEnd =
+            ready + column + transferCycles(b.size);
+        if (isWrite)
+            bank.prechargeReadyAt = dataEnd + _timing.WR;
+
+        ch.busyUntil = dataEnd;
+        ch.inflight = std::move(b);
+        ch.hasInflight = true;
+        _statBusyCycles.inc(dataEnd - cycle);
+    }
+}
+
 void
 MemoryController::scheduleChannels(Cycle cycle)
 {
+    if (_banked) {
+        scheduleBanked(cycle);
+        return;
+    }
     for (Channel& ch : _channels) {
         if (ch.hasInflight)
             continue;
@@ -227,6 +346,11 @@ MemoryController::commitStats()
     _statBusyCycles.commit();
     _statPageOpens.commit();
     _statTurnarounds.commit();
+    _statRowHits.commit();
+    _statRowMisses.commit();
+    _statRowConflicts.commit();
+    _statPrecharges.commit();
+    _statActivates.commit();
     for (auto& stat : _statClientBytes)
         stat.commit();
 }
@@ -241,7 +365,7 @@ MemoryController::empty() const
             return false;
     }
     for (const Channel& ch : _channels) {
-        if (ch.hasInflight)
+        if (ch.hasInflight || !ch.pending.empty())
             return false;
     }
     return true;

@@ -22,6 +22,22 @@
  * instead of deques, address decomposition uses precomputed
  * shift/mask pairs when the geometry is a power of two, and
  * statistics commit once per clock.
+ *
+ * Timing models (GpuConfig::memModel):
+ *
+ *  - Flat (default): one burst in flight per channel, flat transfer
+ *    cost plus page-open and read/write-turnaround penalties.
+ *    Bit-identical to the historical controller.
+ *  - Banked: per-channel GDDR banks with row open/close state and
+ *    the RCD/RAS/RP/RC/CL/WL/WR counters of gpu/dram_timing.hh.  A
+ *    row hit costs CL/WL, a cold bank adds RCD (activate), a row
+ *    conflict adds RP + RCD (precharge + activate) gated by
+ *    RAS/RC/RRD/WR accounting.  Bursts queue in one per-channel
+ *    arrival-order pending ring; the scheduling policy
+ *    (GpuConfig::dramScheduler) picks the next burst — FIFO takes
+ *    the oldest, FR-FCFS takes the first row hit in the scheduling
+ *    window unless the oldest has already been overtaken frfcfsCap
+ *    times (starvation cap).
  */
 
 #ifndef ATTILA_GPU_MEMORY_CONTROLLER_HH
@@ -32,6 +48,7 @@
 #include <vector>
 
 #include "emu/memory.hh"
+#include "gpu/dram_timing.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/link.hh"
 #include "gpu/work_objects.hh"
@@ -118,6 +135,14 @@ class MemoryController : public sim::Box
     /** Total bytes transferred (reads + writes). */
     u64 totalBytes() const { return _totalBytes; }
 
+    // Banked-model observables (live totals; also exported as
+    // MemoryController.* statistics).
+    u64 rowHits() const { return _statRowHits.liveTotal(); }
+    u64 rowMisses() const { return _statRowMisses.liveTotal(); }
+    u64 rowConflicts() const { return _statRowConflicts.liveTotal(); }
+    u64 precharges() const { return _statPrecharges.liveTotal(); }
+    u64 activates() const { return _statActivates.liveTotal(); }
+
   private:
     struct Burst
     {
@@ -125,6 +150,17 @@ class MemoryController : public sim::Box
         u32 clientIdx = 0;
         u32 offset = 0; ///< Offset within the transaction.
         u32 size = 0;
+        u32 bypassed = 0; ///< Times overtaken (FR-FCFS cap).
+    };
+
+    /** One GDDR bank's row state (banked model only). */
+    struct Bank
+    {
+        bool rowOpen = false;
+        u64 openRow = ~0ull;
+        bool everActivated = false;
+        Cycle activateAt = 0;       ///< Last ACT issue time.
+        Cycle prechargeReadyAt = 0; ///< Write-recovery (WR) gate.
     };
 
     struct Channel
@@ -136,6 +172,11 @@ class MemoryController : public sim::Box
         Burst inflight;
         u64 currentPage = ~0ull;
         bool lastWasWrite = false;
+        // Banked model state.
+        sim::RingQueue<Burst> pending; ///< Arrival order.
+        std::vector<Bank> banks;
+        bool everActivated = false;
+        Cycle lastActivateAt = 0; ///< RRD gate across banks.
     };
 
     struct ClientPort
@@ -169,8 +210,28 @@ class MemoryController : public sim::Box
                          : (size + bpc - 1) / bpc;
     }
 
+    /** Bank index of @p addr within its channel. */
+    u32
+    bankOf(u32 addr) const
+    {
+        return _fastPage ? (addr >> _pageShift) & (_timing.nbk - 1)
+                         : (addr / _config.memoryPageBytes) %
+                               _timing.nbk;
+    }
+
+    /** Row index of @p addr within its bank. */
+    u64
+    rowOf(u32 addr) const
+    {
+        return pageOf(addr) / _timing.nbk;
+    }
+
     void acceptRequests(Cycle cycle);
     void scheduleChannels(Cycle cycle);
+    void scheduleBanked(Cycle cycle);
+    /** Pending-ring position the policy schedules next; bumps the
+     * front burst's bypass counter when overtaking it. */
+    u32 pickPending(Channel& ch);
     void completeBursts(Cycle cycle);
     void sendResponses(Cycle cycle);
     void commitStats();
@@ -180,6 +241,8 @@ class MemoryController : public sim::Box
     std::vector<std::unique_ptr<ClientPort>> _clients;
     std::vector<Channel> _channels;
     bool _fastPath = true;
+    bool _banked = false;
+    DramTiming _timing;
     /** Transactions accepted but not yet completed (both paths). */
     u32 _pendingTxns = 0;
     /** Reference-path burst bookkeeping (memFastPath off); the fast
@@ -201,6 +264,11 @@ class MemoryController : public sim::Box
     sim::BatchedStat _statBusyCycles;
     sim::BatchedStat _statPageOpens;
     sim::BatchedStat _statTurnarounds;
+    sim::BatchedStat _statRowHits;
+    sim::BatchedStat _statRowMisses;
+    sim::BatchedStat _statRowConflicts;
+    sim::BatchedStat _statPrecharges;
+    sim::BatchedStat _statActivates;
     std::vector<sim::BatchedStat> _statClientBytes;
 };
 

@@ -19,7 +19,8 @@ TextureUnit::TextureUnit(sim::SignalBinder& binder,
              FbCache::Config{config.textureCacheKB,
                              config.textureCacheWays,
                              config.textureCacheLine,
-                             config.textureCachePorts, 4,
+                             config.textureCachePorts,
+                             config.textureCacheMshr,
                              config.memFastPath},
              stat("cacheHits"), stat("cacheMisses")),
       _statRequests(stat("requests")),

@@ -94,7 +94,8 @@ ZStencilTest::ZStencilTest(sim::SignalBinder& binder,
       _memory(memory),
       _cache("zcache" + std::to_string(unit),
              FbCache::Config{config.zCacheKB, config.zCacheWays,
-                             config.zCacheLine, 4, 4,
+                             config.zCacheLine, 4,
+                             config.zCacheMshr,
                              config.memFastPath},
              stat("cacheHits"), stat("cacheMisses"), &_backing),
       _statQuads(stat("quads")),

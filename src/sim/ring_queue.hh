@@ -67,6 +67,22 @@ class RingQueue
         return value;
     }
 
+    /**
+     * Remove the element @p i positions behind the head, preserving
+     * the order of the rest (the FR-FCFS scheduler extracts row
+     * hits from the middle of the pending ring).  O(i) element
+     * moves; callers scan bounded windows from the front.
+     */
+    T
+    remove_at(std::size_t i)
+    {
+        T value = std::move(at(i));
+        for (; i > 0; --i)
+            at(i) = std::move(at(i - 1));
+        pop_front();
+        return value;
+    }
+
     /** Drop every element; capacity is retained. */
     void
     clear()
