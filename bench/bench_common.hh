@@ -49,7 +49,8 @@ setBench(const std::string& name)
 struct BenchOptions
 {
     std::optional<gpu::SchedulerKind> scheduler;
-    std::optional<u32> threads;
+    std::optional<u32> threads; ///< 0 = auto (hardware threads).
+    std::optional<bool> workSteal;
     std::optional<bool> idleSkip;
     std::optional<bool> emuFastPath;
     std::optional<bool> memFastPath;
@@ -77,7 +78,8 @@ parseArgs(int& argc, char** argv)
     const auto bad = [](const std::string& arg) {
         std::cerr << "error: bad bench flag '" << arg << "'\n"
                   << "usage: --scheduler=serial|parallel "
-                     "--threads=N --idle-skip=0|1 "
+                     "--threads=N (0 = auto) --work-steal=0|1 "
+                     "--idle-skip=0|1 "
                      "--emu-fastpath=0|1 --mem-fastpath=0|1 "
                      "--config <file> --set section.key=value\n";
         std::exit(2);
@@ -110,12 +112,22 @@ parseArgs(int& argc, char** argv)
                 bad(arg);
             options().sets.push_back(v);
         } else if (arg.rfind("--threads=", 0) == 0) {
+            // 0 is valid and means "auto": resolve to the hardware
+            // thread count (mirrors ATTILA_SCHED_THREADS=0).
             const std::string v = arg.substr(10);
             char* end = nullptr;
             const unsigned long n = std::strtoul(v.c_str(), &end, 10);
-            if (v.empty() || *end != '\0' || n == 0)
+            if (v.empty() || *end != '\0')
                 bad(arg);
             options().threads = static_cast<u32>(n);
+        } else if (arg.rfind("--work-steal=", 0) == 0) {
+            const std::string v = arg.substr(13);
+            if (v == "1" || v == "true" || v == "on")
+                options().workSteal = true;
+            else if (v == "0" || v == "false" || v == "off")
+                options().workSteal = false;
+            else
+                bad(arg);
         } else if (arg.rfind("--idle-skip=", 0) == 0) {
             const std::string v = arg.substr(12);
             if (v == "1" || v == "true" || v == "on")
@@ -170,6 +182,8 @@ applyOptions(gpu::GpuConfig& config)
             config.scheduler = *options().scheduler;
         if (options().threads)
             config.schedulerThreads = *options().threads;
+        if (options().workSteal)
+            config.schedWorkSteal = *options().workSteal;
         if (options().idleSkip)
             config.idleSkip = *options().idleSkip;
         if (options().emuFastPath)
@@ -275,6 +289,10 @@ emitJson(const std::string& label, const RunResult& result)
               << std::setprecision(3) << result.simKHz()
               << ",\"scheduler\":\"" << gpu::enumName(c.scheduler)
               << "\",\"threads\":" << c.schedulerThreads
+              << ",\"threads_resolved\":"
+              << result.gpu->simulator().scheduler().threadCount()
+              << ",\"work_steal\":"
+              << (c.schedWorkSteal ? "true" : "false")
               << ",\"idle_skip\":" << (c.idleSkip ? "true" : "false")
               << ",\"emu_fastpath\":"
               << (c.emuFastPath ? "true" : "false")

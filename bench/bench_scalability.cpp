@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Scheduler scalability sweep: threads x scheduler x idle-skip over
+ * the Figure 10 scenes.
+ *
+ * For every scene and idle-skip setting the serial engine is timed
+ * first, then the partitioned parallel engine at 1, 2 and 4 threads.
+ * Each parallel run must be bit-identical to its serial baseline
+ * (cycle count and framebuffer hash — the scheduler contract); wall
+ * clock is reported as `speedup_vs_serial` BENCH_JSON lines, which
+ * the perf-smoke CI gates on.  `threads_resolved` carries the pool
+ * size actually used (threads=0 resolves to the hardware thread
+ * count), so a 1-core runner is detectable downstream.
+ */
+
+#include "bench_common.hh"
+
+using namespace attila;
+using namespace attila::bench;
+
+namespace
+{
+
+/** FNV-1a over every frame's pixels (the determinism observable). */
+u64
+framebufferHash(const gpu::Gpu& gpu)
+{
+    u64 h = 1469598103934665603ull;
+    for (const gpu::FrameImage& frame : gpu.frames()) {
+        for (u32 px : frame.pixels) {
+            h ^= px;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    parseArgs(argc, argv);
+    setBench("scalability");
+    printHeader("Scheduler scalability: serial vs partitioned"
+                " parallel");
+
+    struct Scene
+    {
+        const char* name;
+        gpu::CommandList commands;
+        u32 frames;
+    };
+    std::vector<Scene> scenes;
+    {
+        auto params = benchParams(/*frames=*/1);
+        workloads::ShadowsWorkload shadows(params);
+        scenes.push_back(
+            {"shadows", buildCommands(shadows), params.frames});
+        workloads::TerrainWorkload terrain(params);
+        scenes.push_back(
+            {"terrain", buildCommands(terrain), params.frames});
+        workloads::CubesWorkload cubes(params);
+        scenes.push_back(
+            {"cubes", buildCommands(cubes), params.frames});
+    }
+
+    const u32 threadSweep[] = {1, 2, 4};
+    bool allIdentical = true;
+
+    std::cout << std::left << std::setw(10) << "scene"
+              << std::setw(10) << "idleSkip" << std::setw(10)
+              << "engine" << std::setw(9) << "threads"
+              << std::setw(12) << "wall_s" << "speedup\n";
+
+    for (Scene& scene : scenes) {
+        for (const bool skip : {true, false}) {
+            gpu::GpuConfig base = gpu::GpuConfig::baseline();
+            base.scheduler = gpu::SchedulerKind::Serial;
+            base.idleSkip = skip;
+            const std::string tag =
+                std::string(scene.name) + (skip ? "_skip1" : "_skip0");
+            RunResult serial = run(scene.commands, base,
+                                   scene.frames, tag + "_serial");
+            const u64 refCycles = serial.cycles;
+            const u64 refHash = framebufferHash(*serial.gpu);
+            std::cout << std::left << std::setw(10) << scene.name
+                      << std::setw(10) << (skip ? "on" : "off")
+                      << std::setw(10) << "serial" << std::setw(9)
+                      << 1 << std::setw(12) << std::fixed
+                      << std::setprecision(3) << serial.wallSeconds
+                      << "1.000\n";
+
+            for (const u32 threads : threadSweep) {
+                gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+                cfg.scheduler = gpu::SchedulerKind::Parallel;
+                cfg.schedulerThreads = threads;
+                cfg.idleSkip = skip;
+                const std::string label = tag + "_parallel" +
+                                          std::to_string(threads);
+                RunResult result = run(scene.commands, cfg,
+                                       scene.frames, label);
+                const bool identical =
+                    result.cycles == refCycles &&
+                    framebufferHash(*result.gpu) == refHash;
+                allIdentical &= identical;
+
+                const f64 speedup =
+                    result.wallSeconds > 0.0
+                        ? serial.wallSeconds / result.wallSeconds
+                        : 0.0;
+                const u32 resolved = result.gpu->simulator()
+                                         .scheduler()
+                                         .threadCount();
+                std::cout << std::left << std::setw(10) << scene.name
+                          << std::setw(10) << (skip ? "on" : "off")
+                          << std::setw(10) << "parallel"
+                          << std::setw(9) << threads << std::setw(12)
+                          << std::fixed << std::setprecision(3)
+                          << result.wallSeconds << std::setprecision(2)
+                          << speedup << "x"
+                          << (identical ? "" : "  MISMATCH") << "\n";
+                std::cout
+                    << "BENCH_JSON {\"bench\":\"scalability\","
+                       "\"label\":\""
+                    << label << "\",\"scene\":\"" << scene.name
+                    << "\",\"threads\":" << threads
+                    << ",\"threads_resolved\":" << resolved
+                    << ",\"idle_skip\":" << (skip ? "true" : "false")
+                    << ",\"serial_wall_s\":" << std::setprecision(6)
+                    << serial.wallSeconds << ",\"wall_s\":"
+                    << result.wallSeconds
+                    << ",\"speedup_vs_serial\":"
+                    << std::setprecision(3) << speedup
+                    << ",\"identical\":"
+                    << (identical ? "true" : "false") << "}\n"
+                    << std::defaultfloat;
+            }
+        }
+    }
+
+    std::cout << "\n"
+              << (allIdentical
+                      ? "All parallel runs bit-identical to serial."
+                      : "BIT-IDENTITY VIOLATION: parallel results"
+                        " diverged from serial.")
+              << "\n";
+    return allIdentical ? 0 : 1;
+}

@@ -102,7 +102,25 @@ Gpu::Gpu(const GpuConfig& config)
 
     // The whole pipeline runs in one master-rate domain for now; the
     // domain layer is the seam for future memory/display clocks.
+    // The configured memory/display rates are validated here (they
+    // must divide the core clock — the divider machinery only models
+    // integer ratios) even while the boxes still share the core
+    // domain, so sweep files fail at load, not when the domains
+    // split.
+    if (_config.clockMHz == 0)
+        fatal("config: clock.gpuMHz must be >= 1");
+    if (_config.memoryClockMHz != 0 &&
+        _config.clockMHz % _config.memoryClockMHz != 0) {
+        fatal("config: clock.memoryMHz (", _config.memoryClockMHz,
+              ") must divide clock.gpuMHz (", _config.clockMHz, ")");
+    }
+    if (_config.displayClockMHz != 0 &&
+        _config.clockMHz % _config.displayClockMHz != 0) {
+        fatal("config: clock.displayMHz (", _config.displayClockMHz,
+              ") must divide clock.gpuMHz (", _config.clockMHz, ")");
+    }
     sim::ClockDomain& core = _sim.domain("gpu");
+    core.setFrequencyMHz(_config.clockMHz);
     core.addBox(_commandProcessor.get());
     core.addBox(_streamer.get());
     core.addBox(_assembly.get());
@@ -129,8 +147,11 @@ Gpu::Gpu(const GpuConfig& config)
             // boxes commit in a fixed order.
             warn("signal tracing forces the serial scheduler");
         } else {
+            sim::ParallelScheduler::Options options;
+            options.workSteal = _config.schedWorkSteal;
+            options.slackPercent = _config.schedPartitionSlack;
             _sim.setScheduler(std::make_unique<sim::ParallelScheduler>(
-                _config.schedulerThreads));
+                _config.schedulerThreads, options));
         }
     }
     _sim.setIdleSkip(_config.idleSkip);

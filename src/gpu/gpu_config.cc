@@ -41,7 +41,10 @@ visitConfigFields(GpuConfig& c, V&& v)
 {
     v.field("global.unifiedShaders", c.unifiedShaders);
     v.field("global.memorySize", c.memorySize);
-    v.field("global.clockMHz", c.clockMHz);
+
+    v.field("clock.gpuMHz", c.clockMHz);
+    v.field("clock.memoryMHz", c.memoryClockMHz);
+    v.field("clock.displayMHz", c.displayClockMHz);
 
     v.field("shader.units", c.numShaders);
     v.field("shader.vertexUnits", c.numVertexShaders);
@@ -122,6 +125,8 @@ visitConfigFields(GpuConfig& c, V&& v)
 
     v.field("engine.scheduler", c.scheduler);
     v.field("engine.threads", c.schedulerThreads);
+    v.field("engine.workSteal", c.schedWorkSteal);
+    v.field("engine.partitionSlack", c.schedPartitionSlack);
     v.field("engine.idleSkip", c.idleSkip);
     v.field("engine.emuFastPath", c.emuFastPath);
     v.field("engine.memFastPath", c.memFastPath);
@@ -440,6 +445,8 @@ GpuConfig::applyEnvOverrides()
         schedulerThreads =
             static_cast<u32>(std::strtoul(env, nullptr, 10));
     }
+    if (const auto flag = envFlag("ATTILA_WORK_STEAL"))
+        schedWorkSteal = *flag;
     if (const auto flag = envFlag("ATTILA_IDLE_SKIP"))
         idleSkip = *flag;
     if (const auto fast = emu::envFastPathOverride())

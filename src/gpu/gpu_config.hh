@@ -196,7 +196,19 @@ struct GpuConfig
     // ===== Global ===================================================
     bool unifiedShaders = true; ///< Fig 2 (true) vs Fig 1 (false).
     u32 memorySize = 64u << 20; ///< GPU memory bytes.
-    u64 clockMHz = 600;         ///< For fps reporting only.
+
+    // ===== Clock domains ============================================
+    /** Core ("gpu") clock domain frequency; also the fps-reporting
+     * rate. */
+    u64 clockMHz = 600;
+    /** Memory clock domain frequency; 0 folds the memory boxes into
+     * the core domain (the current model — cross-rate wires need an
+     * explicit bridge box).  A non-zero value must divide clockMHz
+     * (the divider machinery only models integer ratios). */
+    u64 memoryClockMHz = 0;
+    /** Display (DAC) clock domain frequency; same rules as
+     * memoryClockMHz. */
+    u64 displayClockMHz = 0;
 
     // ===== Shader pool ==============================================
     u32 numShaders = 2;       ///< Fragment/unified shader units.
@@ -307,6 +319,16 @@ struct GpuConfig
     /** Worker threads for the parallel engine; 0 = all hardware
      * threads.  Overridable via ATTILA_SCHED_THREADS. */
     u32 schedulerThreads = 0;
+    /** Parallel engine: idle workers steal active boxes from loaded
+     * partitions (commit order stays canonical, so results are
+     * bit-identical either way).  Overridable via
+     * ATTILA_WORK_STEAL=0|1. */
+    bool schedWorkSteal = true;
+    /** Parallel engine: partition size cap as a percentage of
+     * perfect balance; larger values let the partitioner keep heavy
+     * signal edges uncut at the cost of imbalance (work stealing
+     * absorbs it). */
+    u32 schedPartitionSlack = 125;
     /** Activity-driven clocking: skip provably idle boxes and
      * fast-forward fully idle stretches.  Bit-identical results
      * either way; false restores the always-clock reference path
@@ -415,8 +437,9 @@ struct GpuConfig
      * Apply the environment layer: ATTILA_CONFIG (a config file
      * path), ATTILA_CONFIG_SET (comma/semicolon-separated
      * section.key=value overrides) and the legacy per-knob variables
-     * (ATTILA_SCHEDULER, ATTILA_SCHED_THREADS, ATTILA_IDLE_SKIP,
-     * ATTILA_EMU_FASTPATH, ATTILA_MEM_FASTPATH).  Idempotent per
+     * (ATTILA_SCHEDULER, ATTILA_SCHED_THREADS, ATTILA_WORK_STEAL,
+     * ATTILA_IDLE_SKIP, ATTILA_EMU_FASTPATH, ATTILA_MEM_FASTPATH).
+     * Idempotent per
      * config: sets envApplied so the Gpu constructor skips its own
      * application when a harness already layered the environment
      * (keeping `--set` the highest-precedence layer).

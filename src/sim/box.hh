@@ -166,11 +166,13 @@ class Box
     }
 
     /**
-     * Per-cycle skip latch, written by the scheduler in phase A and
-     * read back in phase B so a skipped box also skips propagate().
-     * Under the parallel scheduler the same worker owns a box in
-     * both phases (static round-robin partition), so the latch
-     * needs no synchronization.
+     * Per-cycle skip latch, written by the scheduler's skip pass
+     * before any box is clocked and read back in phase B so a
+     * skipped box also skips propagate().  Under the partitioned
+     * parallel engine the decisions are made on the simulator thread
+     * before the workers are dispatched (and any error-path write by
+     * a worker is ordered by the partition's update counter), so the
+     * latch needs no synchronization of its own.
      */
     void markSkipped(bool skipped) { _skipped = skipped; }
     bool skipped() const { return _skipped; }
@@ -179,6 +181,14 @@ class Box
     const std::vector<Signal*>& inputSignals() const
     {
         return _inputSignals;
+    }
+
+    /** Output signals registered for this box (read-only); with the
+     * binder's single-reader rule this is what lets the scheduler
+     * recover the box connectivity graph at bind time. */
+    const std::vector<Signal*>& outputSignals() const
+    {
+        return _outputSignals;
     }
 
   protected:

@@ -52,6 +52,15 @@ class ClockDomain
     const std::string& name() const { return _name; }
     u32 divider() const { return _divider; }
 
+    /**
+     * Nominal frequency metadata in MHz (0 = unspecified).  Purely
+     * informational — timing is governed by the divider — but it is
+     * what configuration files and reports call the domain's rate,
+     * so the owner records it here for introspection.
+     */
+    void setFrequencyMHz(u64 mhz) { _frequencyMHz = mhz; }
+    u64 frequencyMHz() const { return _frequencyMHz; }
+
     /** Domain-local cycle counter (cycles completed so far). */
     Cycle cycle() const { return _cycle; }
 
@@ -110,6 +119,7 @@ class ClockDomain
   private:
     std::string _name;
     u32 _divider;
+    u64 _frequencyMHz = 0;
     std::vector<Box*> _boxes;
     Cycle _cycle = 0;
     bool _lastAllIdle = false;

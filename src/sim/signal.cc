@@ -104,7 +104,7 @@ Signal::publish(Cycle cycle, DynamicObjectPtr obj)
         _tracer->record(cycle, _name, *obj);
 
     slot.objects.push_back(std::move(obj));
-    ++_live;
+    _live.fetch_add(1, std::memory_order_relaxed);
     ++_totalWrites;
     if (_writeStat)
         _writeStat->inc();
@@ -140,7 +140,7 @@ Signal::canWriteBuffered(Cycle cycle) const
 u64
 Signal::inFlight() const
 {
-    return _pending.size() + _live;
+    return _pending.size() + _live.load(std::memory_order_relaxed);
 }
 
 } // namespace attila::sim

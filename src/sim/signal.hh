@@ -25,6 +25,7 @@
 #ifndef ATTILA_SIM_SIGNAL_HH
 #define ATTILA_SIM_SIGNAL_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -93,7 +94,7 @@ class Signal
     DynamicObjectPtr
     read(Cycle cycle)
     {
-        if (_live == 0)
+        if (_live.load(std::memory_order_relaxed) == 0)
             return nullptr;
         Slot& slot = _slots[cycle & _slotMask];
         if (slot.objects.empty() || slot.arrival != cycle ||
@@ -102,7 +103,7 @@ class Signal
         }
         DynamicObjectPtr obj = std::move(slot.objects[slot.readIndex]);
         ++slot.readIndex;
-        --_live;
+        _live.fetch_sub(1, std::memory_order_relaxed);
         ++_totalReads;
         if (slot.drained()) {
             slot.objects.clear();
@@ -115,7 +116,7 @@ class Signal
     u32
     pendingAt(Cycle cycle) const
     {
-        if (_live == 0)
+        if (_live.load(std::memory_order_relaxed) == 0)
             return 0;
         const Slot& slot = _slots[cycle & _slotMask];
         if (slot.objects.empty() || slot.arrival != cycle)
@@ -163,15 +164,21 @@ class Signal
      * O(1) — this is the idle-skip hot path, polled for every input
      * of every candidate box each cycle.  Staged (uncommitted)
      * writes are deliberately *not* counted: they belong to the
-     * writer's in-progress cycle, only become observable after the
-     * phase barrier, and reading the pending buffer here would race
-     * with the writer's phase A under the parallel scheduler.  The
-     * counter is written by the writer box's thread in phase B
-     * (publish) and by the reader box's thread in phase A (read);
-     * idle-skip checks run in phase A, so every access is separated
-     * from the publishing store by the scheduler's phase barrier.
+     * writer's in-progress cycle and only become observable once the
+     * writer commits.  The counter is a relaxed atomic because under
+     * the partitioned parallel engine a writer's commit (owner
+     * partition, phase B) may overlap another partition's phase A
+     * that reads the same wire: the delivery slots stay disjoint
+     * (a commit at cycle c lands at c + latency >= c + 1, never the
+     * slot read at c), so the counter is the only shared word.  A
+     * racy load can only miss a same-cycle commit, whose object is
+     * unreadable this cycle anyway — results stay deterministic.
      */
-    bool fastEmpty() const { return _live == 0; }
+    bool
+    fastEmpty() const
+    {
+        return _live.load(std::memory_order_relaxed) == 0;
+    }
 
     /** Attach a trace writer; every write is then recorded. */
     void setTracer(SignalTraceWriter* tracer) { _tracer = tracer; }
@@ -229,8 +236,11 @@ class Signal
     u64 _totalWrites = 0;
     u64 _totalReads = 0;
     /** Committed-but-unread objects across all slots; see
-     * fastEmpty() for the threading contract. */
-    u64 _live = 0;
+     * fastEmpty() for the threading contract.  Relaxed atomic: the
+     * single writer increments (commit) and the single reader
+     * decrements (read); cross-thread observers only ever use it as
+     * a conservative emptiness hint. */
+    std::atomic<u64> _live{0};
 };
 
 } // namespace attila::sim

@@ -218,6 +218,36 @@ TEST(GpuConfigText, CompositeGeometryKeySetsDiscreteFields)
     EXPECT_EQ(c.colorCacheMshr, 8u);
 }
 
+TEST(GpuConfigText, ClockSectionLoadsAndRoundTrips)
+{
+    // The clock-domain frequencies are real config keys: loadable
+    // from the [clock] section, preserved by the canonical dump, and
+    // distinguishing in the config hash.
+    GpuConfig c = GpuConfig::baseline();
+    c.applyText("[clock]\ngpuMHz = 500\nmemoryMHz = 250\n"
+                "displayMHz = 100\n");
+    EXPECT_EQ(c.clockMHz, 500u);
+    EXPECT_EQ(c.memoryClockMHz, 250u);
+    EXPECT_EQ(c.displayClockMHz, 100u);
+
+    const std::string dump = c.toConfigText();
+    EXPECT_NE(dump.find("gpuMHz = 500"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("memoryMHz = 250"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("displayMHz = 100"), std::string::npos)
+        << dump;
+    const GpuConfig again = GpuConfig::fromConfigText(dump);
+    EXPECT_EQ(again, c);
+    EXPECT_NE(c.configHash(), GpuConfig::baseline().configHash());
+
+    // Scheduler knobs ride the same [engine] section.
+    c.applySet("engine.workSteal=false");
+    c.applySet("engine.partitionSlack=150");
+    EXPECT_FALSE(c.schedWorkSteal);
+    EXPECT_EQ(c.schedPartitionSlack, 150u);
+    EXPECT_EQ(GpuConfig::fromConfigText(c.toConfigText()), c);
+}
+
 TEST(GpuConfigText, UnknownKeyIsFatal)
 {
     GpuConfig c = GpuConfig::baseline();

@@ -73,19 +73,24 @@ struct RunFingerprint
 
 RunFingerprint
 runWith(const gpu::CommandList& list, gpu::SchedulerKind kind,
-        u32 threads, bool idle_skip = true)
+        u32 threads, bool idle_skip = true,
+        gpu::MemModel mem_model = gpu::MemModel::Flat,
+        bool work_steal = true)
 {
     // The test pins its own engines; neutralize the environment
     // overrides a CI job may have exported.
     unsetenv("ATTILA_SCHEDULER");
     unsetenv("ATTILA_SCHED_THREADS");
     unsetenv("ATTILA_IDLE_SKIP");
+    unsetenv("ATTILA_WORK_STEAL");
 
     gpu::GpuConfig config = gpu::GpuConfig::baseline();
     config.memorySize = 32u << 20;
     config.scheduler = kind;
     config.schedulerThreads = threads;
     config.idleSkip = idle_skip;
+    config.memModel = mem_model;
+    config.schedWorkSteal = work_steal;
     // A small window so several windows close during the run and the
     // CSV actually exercises the sampling path.
     config.statsWindow = 1000;
@@ -173,6 +178,49 @@ TEST(SchedulerDeterminism, IdleSkipBitIdentical)
         runWith(list, gpu::SchedulerKind::Parallel, 2, false);
     expectIdentical(parOff, parOn, "parallel idle-skip");
     expectIdentical(serialOff, parOn, "cross idle-skip");
+}
+
+TEST(SchedulerDeterminism, PartitionedBitIdentical)
+{
+    // The partitioned engine (connectivity partitions, serial skip
+    // pass, work stealing, owner-ordered commits) must stay
+    // bit-identical to the serial reference under both DRAM timing
+    // models — the banked model drives very different traffic
+    // through the memory controller partition.
+    WorkloadParams params = smallParams();
+    ShadowsWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+
+    for (const gpu::MemModel mm :
+         {gpu::MemModel::Flat, gpu::MemModel::Banked}) {
+        const char* name =
+            mm == gpu::MemModel::Flat ? "flat" : "banked";
+        const RunFingerprint serial =
+            runWith(list, gpu::SchedulerKind::Serial, 0, true, mm);
+        ASSERT_GT(serial.cycles, 0u) << name;
+        const RunFingerprint par2 =
+            runWith(list, gpu::SchedulerKind::Parallel, 2, true, mm);
+        expectIdentical(serial, par2, name);
+        const RunFingerprint par4 =
+            runWith(list, gpu::SchedulerKind::Parallel, 4, true, mm);
+        expectIdentical(serial, par4, name);
+    }
+}
+
+TEST(SchedulerDeterminism, WorkStealOnOffBitIdentical)
+{
+    // Stealing moves updates between workers but never changes the
+    // commit order, so it must be invisible in every observable.
+    WorkloadParams params = smallParams();
+    TerrainWorkload workload(params);
+    const gpu::CommandList list = buildCommands(workload, params);
+    const RunFingerprint stealOn =
+        runWith(list, gpu::SchedulerKind::Parallel, 4, true,
+                gpu::MemModel::Flat, true);
+    const RunFingerprint stealOff =
+        runWith(list, gpu::SchedulerKind::Parallel, 4, true,
+                gpu::MemModel::Flat, false);
+    expectIdentical(stealOff, stealOn, "work-steal on/off");
 }
 
 TEST(SchedulerDeterminism, ParallelRunToRunStable)

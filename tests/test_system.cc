@@ -189,6 +189,27 @@ TEST(System, CacheGeometryValidation)
         FatalError);
 }
 
+TEST(System, ClockDomainFrequencyValidation)
+{
+    // Memory/display rates must divide the core clock (the divider
+    // machinery only models integer ratios); violations fail at
+    // construction, and a valid config records the core rate on the
+    // "gpu" domain.
+    gpu::GpuConfig config;
+    config.memorySize = 32u << 20;
+    config.clockMHz = 600;
+    config.memoryClockMHz = 250; // 600 % 250 != 0.
+    EXPECT_THROW(gpu::Gpu{config}, FatalError);
+    config.memoryClockMHz = 300;
+    config.displayClockMHz = 170; // 600 % 170 != 0.
+    EXPECT_THROW(gpu::Gpu{config}, FatalError);
+    config.displayClockMHz = 150;
+    gpu::Gpu gpu(config);
+    EXPECT_EQ(gpu.simulator().domain("gpu").frequencyMHz(), 600u);
+    config.clockMHz = 0;
+    EXPECT_THROW(gpu::Gpu{config}, FatalError);
+}
+
 TEST(System, ContextErrorsAreFatal)
 {
     gl::Context ctx(32, 32, 4u << 20);
