@@ -7,6 +7,8 @@
 #ifndef ATTILA_BENCH_COMMON_HH
 #define ATTILA_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
@@ -20,7 +22,9 @@
 #include "gl/context.hh"
 #include "gpu/gpu.hh"
 #include "sim/config_file.hh"
+#include "sim/event_trace.hh"
 #include "sim/out_dir.hh"
+#include "sim/trace_export.hh"
 #include "workloads/cubes.hh"
 #include "workloads/shadows.hh"
 #include "workloads/terrain.hh"
@@ -54,6 +58,7 @@ struct BenchOptions
     std::optional<bool> idleSkip;
     std::optional<bool> emuFastPath;
     std::optional<bool> memFastPath;
+    std::optional<bool> eventTrace;
     std::optional<std::string> configFile; ///< --config <file>.
     std::vector<std::string> sets;         ///< --set key=value, in order.
 };
@@ -81,6 +86,7 @@ parseArgs(int& argc, char** argv)
                      "--threads=N (0 = auto) --work-steal=0|1 "
                      "--idle-skip=0|1 "
                      "--emu-fastpath=0|1 --mem-fastpath=0|1 "
+                     "--event-trace[=0|1] "
                      "--config <file> --set section.key=value\n";
         std::exit(2);
     };
@@ -152,6 +158,19 @@ parseArgs(int& argc, char** argv)
                 options().memFastPath = false;
             else
                 bad(arg);
+        } else if (arg == "--event-trace" ||
+                   arg.rfind("--event-trace=", 0) == 0) {
+            if (arg == "--event-trace") {
+                options().eventTrace = true;
+            } else {
+                const std::string v = arg.substr(14);
+                if (v == "1" || v == "true" || v == "on")
+                    options().eventTrace = true;
+                else if (v == "0" || v == "false" || v == "off")
+                    options().eventTrace = false;
+                else
+                    bad(arg);
+            }
         } else if (arg.rfind("--benchmark_", 0) == 0) {
             // google-benchmark's own flags pass through untouched.
             argv[out++] = argv[i];
@@ -190,6 +209,8 @@ applyOptions(gpu::GpuConfig& config)
             config.emuFastPath = *options().emuFastPath;
         if (options().memFastPath)
             config.memFastPath = *options().memFastPath;
+        if (options().eventTrace)
+            config.eventTrace = *options().eventTrace;
         for (const std::string& assignment : options().sets)
             config.applySet(assignment);
     } catch (const sim::ConfigError& e) {
@@ -298,6 +319,8 @@ emitJson(const std::string& label, const RunResult& result)
               << (c.emuFastPath ? "true" : "false")
               << ",\"mem_fastpath\":"
               << (c.memFastPath ? "true" : "false")
+              << ",\"event_trace\":"
+              << (c.eventTrace ? "true" : "false")
               << ",\"mem_model\":\"" << gpu::enumName(c.memModel)
               << "\",\"dram_scheduler\":\""
               << gpu::enumName(c.dramScheduler)
@@ -325,6 +348,52 @@ emitCacheJson(const std::string& label, const RunResult& result,
               << std::defaultfloat;
 }
 
+/**
+ * After a traced run: collect the events, export the binary trace
+ * and the Chrome-tracing JSON to out/, aggregate per statistics
+ * window and cross-check against the StatisticManager.  A mismatch
+ * is a correctness failure (the trace no longer agrees with the
+ * independently collected statistics) and exits non-zero.  Runs
+ * after the timing stop, so the <5% overhead budget covers recording
+ * only — export cost is paid once, off the clock.
+ */
+inline void
+exportEventTrace(const std::string& label, RunResult& result)
+{
+    sim::EventTraceData data =
+        result.gpu->simulator().finishEventTrace();
+    std::string stem = benchName() + "_" + label;
+    for (char& c : stem) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    const std::string binPath = sim::outPath(stem + ".evtrace");
+    const std::string jsonPath = sim::outPath(stem + ".trace.json");
+    const u64 window =
+        std::max<u64>(1, result.gpu->config().statsWindow);
+    sim::writeEventTraceBinary(data, binPath);
+    sim::writeChromeTraceJson(data, window, jsonPath);
+    const sim::TraceSeries series = sim::aggregateTrace(data, window);
+    const auto mismatches =
+        sim::crossCheckStats(series, result.gpu->stats());
+    std::cout << "BENCH_JSON {\"bench\":\"" << benchName()
+              << "\",\"label\":\"" << label
+              << "/event_trace\",\"events\":" << data.events.size()
+              << ",\"dropped\":" << data.dropped
+              << ",\"series\":" << series.counts.size()
+              << ",\"match\":"
+              << (mismatches.empty() ? "true" : "false")
+              << ",\"json\":\"" << jsonPath << "\"}\n";
+    if (!mismatches.empty()) {
+        std::cerr << "error: event trace disagrees with statistics ("
+                  << mismatches.size() << " mismatches):\n";
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(mismatches.size(), 10); ++i)
+            std::cerr << "  " << mismatches[i] << "\n";
+        std::exit(1);
+    }
+}
+
 /** Run @p commands on a GPU with @p config.  Every run is timed and
  * reported as a BENCH_JSON line tagged with @p label. */
 inline RunResult
@@ -347,6 +416,10 @@ run(const gpu::CommandList& commands, gpu::GpuConfig config,
     result.cycles = result.gpu->cycle();
     result.frames = frames;
     emitJson(label, result);
+    if (sim::kEventTraceCompiled &&
+        result.gpu->simulator().eventTrace()) {
+        exportEventTrace(label, result);
+    }
     return result;
 }
 

@@ -51,9 +51,15 @@ main(int argc, char** argv)
     std::cout << std::left << std::setw(44) << "scene"
               << std::setw(12) << "pixels" << "differing\n";
     for (Scene& scene : scenes) {
+        // Short name doubling as the BENCH_JSON label and the stem
+        // of the per-scene output files (.ppm, .evtrace, .trace.json).
+        const std::string shortName =
+            scene.name[0] == 's' ? "shadows"
+            : scene.name[0] == 't' ? "terrain"
+                                   : "cubes";
         RunResult result = run(scene.commands,
                                gpu::GpuConfig::baseline(),
-                               scene.frames);
+                               scene.frames, shortName);
 
         gpu::RefRenderer reference(64u << 20);
         if (options().emuFastPath)
@@ -68,10 +74,8 @@ main(int argc, char** argv)
                   << std::setw(12) << simFrame.pixels.size() << diff
                   << "\n";
 
-        const std::string base = sim::outPath(
-            std::string("fig10_") +
-            (scene.name[0] == 's' ? "shadows"
-             : scene.name[0] == 't' ? "terrain" : "cubes"));
+        const std::string base =
+            sim::outPath("fig10_" + shortName);
         simFrame.writePpm(base + "_sim.ppm");
         refFrame.writePpm(base + "_ref.ppm");
     }

@@ -161,6 +161,12 @@ FbCache::access(Cycle cycle, u32 addr, bool forWrite)
         if (forWrite)
             _dirty[idx] = 1;
         _hits.inc();
+        if constexpr (sim::kEventTraceCompiled) {
+            if (_eventTrace) [[unlikely]] {
+                _eventTrace->emit(sim::EventKind::CacheHit, cycle,
+                                  _eventTraceId, addr);
+            }
+        }
         return CacheAccess::Hit;
     }
 
@@ -196,6 +202,12 @@ FbCache::access(Cycle cycle, u32 addr, bool forWrite)
     _order[(_ordHead + _ordCount) & _ordMask] = slotIdx;
     ++_ordCount;
     _misses.inc();
+    if constexpr (sim::kEventTraceCompiled) {
+        if (_eventTrace) [[unlikely]] {
+            _eventTrace->emit(sim::EventKind::CacheMiss, cycle,
+                              _eventTraceId, addr);
+        }
+    }
     return CacheAccess::Miss;
 }
 

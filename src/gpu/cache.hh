@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "gpu/memory_controller.hh"
+#include "sim/event_trace.hh"
 #include "sim/object_pool.hh"
 #include "sim/statistics.hh"
 
@@ -212,6 +213,19 @@ class FbCache
      * zero-steady-state-allocation check watches this plateau. */
     u64 txnAllocations() const { return _txnPool.allocated(); }
 
+    /**
+     * Attach the structured event trace under cache unit id @p id.
+     * Hit/miss events are emitted exactly where the hit/miss
+     * statistics increment, so trace aggregates and statistics agree
+     * by construction.
+     */
+    void
+    setEventTrace(sim::EventTrace* trace, u16 id)
+    {
+        _eventTrace = trace;
+        _eventTraceId = id;
+    }
+
   private:
     enum class LineState : u8 { Invalid, Filling, Valid };
 
@@ -306,6 +320,8 @@ class FbCache
     u32 _flushScan = 0;
     sim::BatchedStat _hits;
     sim::BatchedStat _misses;
+    sim::EventTrace* _eventTrace = nullptr;
+    u16 _eventTraceId = 0;
 };
 
 } // namespace attila::gpu

@@ -134,6 +134,14 @@ class ColorWrite : public sim::Box
         return _backing.info;
     }
 
+    /** Wire the color cache's hit/miss events (cache unit name = box
+     * name, matching the cacheHits/cacheMisses statistics). */
+    void
+    attachEventTrace(sim::EventTrace& trace) override
+    {
+        _cache.setEventTrace(&trace, trace.registerCache(name()));
+    }
+
   private:
     enum class CtrlPhase : u8 { None, Clearing, Flushing };
 

@@ -155,6 +155,20 @@ Gpu::Gpu(const GpuConfig& config)
         }
     }
     _sim.setIdleSkip(_config.idleSkip);
+
+    // Structured event tracing records into per-thread chunks, so —
+    // unlike the text signal trace above — it runs under any
+    // scheduler.  Enabled last: every box is in its domain and every
+    // signal registered, so unit ids come out deterministic.
+    if (_config.eventTrace) {
+        if constexpr (!sim::kEventTraceCompiled) {
+            warn("event tracing requested but compiled out "
+                 "(ATTILA_TRACE_EVENTS=0); no events will be "
+                 "recorded");
+        } else {
+            _sim.enableEventTrace();
+        }
+    }
 }
 
 bool

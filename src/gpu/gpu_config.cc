@@ -134,6 +134,7 @@ visitConfigFields(GpuConfig& c, V&& v)
 
     v.field("stats.window", c.statsWindow);
     v.field("stats.signalTracePath", c.signalTracePath);
+    v.field("stats.eventTrace", c.eventTrace);
 }
 
 /** Loader: overlays a ConfigFile's assignments onto the fields. */
@@ -453,6 +454,8 @@ GpuConfig::applyEnvOverrides()
         emuFastPath = *fast;
     if (const auto flag = envFlag("ATTILA_MEM_FASTPATH"))
         memFastPath = *flag;
+    if (const auto flag = envFlag("ATTILA_EVENT_TRACE"))
+        eventTrace = *flag;
     envApplied = true;
 }
 

@@ -356,6 +356,13 @@ struct GpuConfig
     // ===== Statistics / debugging ===================================
     u64 statsWindow = 10000; ///< Sampling window in cycles.
     std::string signalTracePath; ///< Empty disables tracing.
+    /** Structured binary event tracing (box activity spans, signal
+     * occupancy, cache transactions, shader thread slots).  Works
+     * under any scheduler; exported to Chrome-tracing/Perfetto JSON
+     * by the benches and examples.  Overridable via
+     * ATTILA_EVENT_TRACE=0|1; no-op when the build compiled tracing
+     * out (ATTILA_TRACE_EVENTS=0). */
+    bool eventTrace = false;
 
     // ===== Host bookkeeping (not configuration state) ===============
     /** Set once applyEnvOverrides() ran, so the Gpu constructor does

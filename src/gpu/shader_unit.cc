@@ -84,6 +84,14 @@ ShaderUnit::acceptWork(Cycle cycle)
         thread.depsEpoch = 0;
         _activeSlots.push_back(slot);
         _statThreads.inc();
+        if constexpr (sim::kEventTraceCompiled) {
+            if (_evtTrace) [[unlikely]] {
+                _evtTrace->emit(sim::EventKind::ThreadBegin, cycle,
+                                _evtShaderId, slot,
+                                thread.work->id(),
+                                sim::traceParentOf(*thread.work));
+            }
+        }
     }
 }
 
@@ -438,6 +446,15 @@ ShaderUnit::update(Cycle cycle)
         Thread& thread = _threadPool[_activeSlots[i]];
         if (thread.finished) {
             if (sendResult(cycle, thread)) {
+                if constexpr (sim::kEventTraceCompiled) {
+                    if (_evtTrace) [[unlikely]] {
+                        _evtTrace->emit(
+                            sim::EventKind::ThreadEnd, cycle,
+                            _evtShaderId, _activeSlots[i],
+                            thread.work->id(),
+                            sim::traceParentOf(*thread.work));
+                    }
+                }
                 // Release references; the slot itself is recycled.
                 thread.work.reset();
                 thread.program.reset();

@@ -64,6 +64,15 @@ class ShaderUnit : public sim::Box
      * no threads and no queued inputs. */
     bool busy() const override { return !empty(); }
 
+    /** Wire thread-slot lifecycle events (shader unit name = box
+     * name, matching the .threads statistic). */
+    void
+    attachEventTrace(sim::EventTrace& trace) override
+    {
+        _evtTrace = &trace;
+        _evtShaderId = trace.registerShader(name());
+    }
+
   private:
     struct Thread
     {
@@ -130,6 +139,9 @@ class ShaderUnit : public sim::Box
     sim::Statistic& _statTexRequests;
     sim::Statistic& _statBusy;
     sim::Statistic& _statStallTex;
+
+    sim::EventTrace* _evtTrace = nullptr;
+    u16 _evtShaderId = 0;
 };
 
 } // namespace attila::gpu

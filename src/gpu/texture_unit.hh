@@ -39,6 +39,14 @@ class TextureUnit : public sim::Box
      * against its timer counts as held work). */
     bool busy() const override { return !empty(); }
 
+    /** Wire the texture cache's hit/miss events (cache unit name =
+     * box name, matching the cacheHits/cacheMisses statistics). */
+    void
+    attachEventTrace(sim::EventTrace& trace) override
+    {
+        _cache.setEventTrace(&trace, trace.registerCache(name()));
+    }
+
   private:
     /** A request being processed. */
     struct Active

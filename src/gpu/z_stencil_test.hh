@@ -79,6 +79,14 @@ class ZStencilTest : public sim::Box
      * phases count as held work). */
     bool busy() const override { return !empty(); }
 
+    /** Wire the Z cache's hit/miss events (cache unit name = box
+     * name, matching the cacheHits/cacheMisses statistics). */
+    void
+    attachEventTrace(sim::EventTrace& trace) override
+    {
+        _cache.setEventTrace(&trace, trace.registerCache(name()));
+    }
+
   private:
     enum class CtrlPhase : u8 { None, Clearing, Flushing };
 

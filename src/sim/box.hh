@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/event_trace.hh"
 #include "sim/signal_binder.hh"
 #include "sim/statistics.hh"
 #include "sim/types.hh"
@@ -162,6 +163,22 @@ class Box
     {
         if (cycle >= _nextWake)
             _nextWake = NoWake;
+        if constexpr (kEventTraceCompiled) {
+            // Activity span bookkeeping.  The fields are only ever
+            // touched by the one thread clocking this box this cycle
+            // (phase A) or by the simulator thread during the skip
+            // pass / at trace finish, when no worker is inside a
+            // phase — the scheduler's end-of-cycle barrier orders
+            // the two.
+            if (_eventTrace) [[unlikely]] {
+                if (!_spanOpen) {
+                    _eventTrace->emit(EventKind::SpanBegin, cycle,
+                                      _eventTraceId);
+                    _spanOpen = true;
+                }
+                _spanLast = cycle;
+            }
+        }
         update(cycle);
     }
 
@@ -174,8 +191,57 @@ class Box
      * a worker is ordered by the partition's update counter), so the
      * latch needs no synchronization of its own.
      */
-    void markSkipped(bool skipped) { _skipped = skipped; }
+    void
+    markSkipped(bool skipped)
+    {
+        if constexpr (kEventTraceCompiled) {
+            if (_eventTrace && skipped) [[unlikely]]
+                finishEventSpan();
+        }
+        _skipped = skipped;
+    }
     bool skipped() const { return _skipped; }
+
+    // ===== Structured event tracing ================================
+
+    /**
+     * Install the event trace sink and this box's registered id
+     * (Simulator::enableEventTrace).  Activity spans are recorded
+     * from the scheduler's clock/skip decisions without any help
+     * from the subclass.
+     */
+    void
+    installEventTrace(EventTrace* trace, u16 id)
+    {
+        _eventTrace = trace;
+        _eventTraceId = id;
+        _spanOpen = false;
+    }
+
+    /**
+     * Hook for boxes with unit-level event sources (caches, shader
+     * thread slots): register names with @p trace and wire internal
+     * emitters.  Called once, after installEventTrace().
+     */
+    virtual void attachEventTrace(EventTrace& trace) { (void)trace; }
+
+    /**
+     * Close an open activity span one cycle past the last clocked
+     * cycle.  Called on the simulator thread when the box is skipped
+     * and at trace collection, so spans of boxes that never go idle
+     * still terminate.
+     */
+    void
+    finishEventSpan()
+    {
+        if constexpr (kEventTraceCompiled) {
+            if (_eventTrace && _spanOpen) {
+                _eventTrace->emit(EventKind::SpanEnd, _spanLast + 1,
+                                  _eventTraceId);
+                _spanOpen = false;
+            }
+        }
+    }
 
     /** Input signals registered for this box (read-only). */
     const std::vector<Signal*>& inputSignals() const
@@ -246,6 +312,10 @@ class Box
     std::vector<Signal*> _inputSignals;
     Cycle _nextWake = NoWake;
     bool _skipped = false;
+    EventTrace* _eventTrace = nullptr;
+    u16 _eventTraceId = 0;
+    bool _spanOpen = false;
+    Cycle _spanLast = 0;
 };
 
 } // namespace attila::sim

@@ -1,5 +1,6 @@
 #include "sim/signal.hh"
 
+#include "sim/event_trace.hh"
 #include "sim/logging.hh"
 #include "sim/signal_trace.hh"
 #include "sim/statistics.hh"
@@ -102,6 +103,14 @@ Signal::publish(Cycle cycle, DynamicObjectPtr obj)
 
     if (_tracer)
         _tracer->record(cycle, _name, *obj);
+
+    if constexpr (kEventTraceCompiled) {
+        if (_eventTrace) [[unlikely]] {
+            _eventTrace->emit(EventKind::SignalWrite, cycle,
+                              _eventTraceId, obj->color(), obj->id(),
+                              traceParentOf(*obj));
+        }
+    }
 
     slot.objects.push_back(std::move(obj));
     _live.fetch_add(1, std::memory_order_relaxed);

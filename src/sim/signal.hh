@@ -35,6 +35,7 @@
 namespace attila::sim
 {
 
+class EventTrace;
 class SignalTraceWriter;
 class Statistic;
 
@@ -186,6 +187,19 @@ class Signal
     /** Attach a statistic counting objects written. */
     void setWriteStat(Statistic* stat) { _writeStat = stat; }
 
+    /**
+     * Attach the structured event trace under unit id @p id; every
+     * published object then emits one SignalWrite event.  Unlike the
+     * text tracer this records into the publishing thread's chunk,
+     * so it is safe under the parallel scheduler.
+     */
+    void
+    setEventTrace(EventTrace* trace, u16 id)
+    {
+        _eventTrace = trace;
+        _eventTraceId = id;
+    }
+
     /** Lifetime statistics. */
     u64 totalWrites() const { return _totalWrites; }
     u64 totalReads() const { return _totalReads; }
@@ -233,6 +247,8 @@ class Signal
     std::vector<PendingWrite> _pending;
     SignalTraceWriter* _tracer = nullptr;
     Statistic* _writeStat = nullptr;
+    EventTrace* _eventTrace = nullptr;
+    u16 _eventTraceId = 0;
     u64 _totalWrites = 0;
     u64 _totalReads = 0;
     /** Committed-but-unread objects across all slots; see

@@ -1,6 +1,7 @@
 #include "sim/signal_binder.hh"
 
 #include "sim/box.hh"
+#include "sim/event_trace.hh"
 #include "sim/logging.hh"
 #include "sim/statistics.hh"
 
@@ -21,6 +22,10 @@ SignalBinder::registerSignal(Box* box, const std::string& name,
                                                 latency);
         if (_tracer)
             entry.signal->setTracer(_tracer);
+        if (_eventTrace) {
+            entry.signal->setEventTrace(
+                _eventTrace, _eventTrace->registerSignal(name));
+        }
         if (_stats) {
             entry.signal->setWriteStat(
                 &_stats->get("signal." + name, "writes"));
@@ -113,6 +118,18 @@ SignalBinder::setTracer(SignalTraceWriter* tracer)
     _tracer = tracer;
     for (auto& [name, entry] : _entries)
         entry.signal->setTracer(tracer);
+}
+
+void
+SignalBinder::setEventTrace(EventTrace* trace)
+{
+    _eventTrace = trace;
+    if (!trace)
+        return;
+    for (auto& [name, entry] : _entries) {
+        entry.signal->setEventTrace(trace,
+                                    trace->registerSignal(name));
+    }
 }
 
 void

@@ -29,6 +29,7 @@ namespace attila::sim
 {
 
 class Box;
+class EventTrace;
 class SignalTraceWriter;
 class StatisticManager;
 
@@ -75,6 +76,13 @@ class SignalBinder
     void setTracer(SignalTraceWriter* tracer);
 
     /**
+     * Attach the structured event trace to every signal (current and
+     * future), registering each signal's name for a unit id.  The
+     * map iteration order makes the id assignment deterministic.
+     */
+    void setEventTrace(EventTrace* trace);
+
+    /**
      * Register a per-signal traffic statistic
      * ("signal.<name>.writes") for every current and future signal.
      */
@@ -97,6 +105,7 @@ class SignalBinder
 
     std::map<std::string, Entry> _entries;
     SignalTraceWriter* _tracer = nullptr;
+    EventTrace* _eventTrace = nullptr;
     StatisticManager* _stats = nullptr;
     bool _buffered = false;
 };

@@ -60,6 +60,48 @@ unescapeField(const std::string& s)
     return out;
 }
 
+/**
+ * Parse an unsigned decimal field.  Anything else — empty field,
+ * stray characters, a sign, overflow — is a diagnostic FatalError
+ * naming the file, line number and offending line, never a raw
+ * std::invalid_argument out of the std::sto* family.
+ */
+u64
+parseU64Field(const std::string& field, const char* what,
+              const std::string& path, u64 line_no,
+              const std::string& line)
+{
+    if (field.empty())
+        fatal("signal trace: ", path, ":", line_no, ": empty ", what,
+              " field in line: ", line);
+    u64 value = 0;
+    for (char c : field) {
+        if (c < '0' || c > '9')
+            fatal("signal trace: ", path, ":", line_no,
+                  ": non-numeric ", what, " field '", field,
+                  "' in line: ", line);
+        const u64 digit = static_cast<u64>(c - '0');
+        if (value > (~u64{0} - digit) / 10)
+            fatal("signal trace: ", path, ":", line_no,
+                  ": overflowing ", what, " field '", field,
+                  "' in line: ", line);
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+u32
+parseU32Field(const std::string& field, const char* what,
+              const std::string& path, u64 line_no,
+              const std::string& line)
+{
+    const u64 value = parseU64Field(field, what, path, line_no, line);
+    if (value > 0xFFFFFFFFull)
+        fatal("signal trace: ", path, ":", line_no, ": overflowing ",
+              what, " field '", field, "' in line: ", line);
+    return static_cast<u32>(value);
+}
+
 } // anonymous namespace
 
 SignalTraceWriter::SignalTraceWriter(const std::string& path)
@@ -81,7 +123,7 @@ SignalTraceWriter::record(Cycle cycle, const std::string& signal_name,
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _out << cycle << '|' << escapeField(signal_name) << '|'
-         << obj.id() << '|' << obj.trailString() << '|'
+         << obj.id() << '|' << escapeField(obj.trailString()) << '|'
          << obj.color() << '|' << escapeField(obj.info()) << '\n';
     ++_records;
 }
@@ -101,28 +143,33 @@ SignalTraceReader::SignalTraceReader(const std::string& path)
 
     std::string line;
     bool first = true;
+    u64 lineNo = 0;
     while (std::getline(in, line)) {
+        ++lineNo;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
         std::string field;
         SignalTraceRecord rec;
 
-        if (!std::getline(ls, field, '|'))
-            fatal("signal trace: malformed line: ", line);
-        rec.cycle = std::stoull(field);
-        if (!std::getline(ls, field, '|'))
-            fatal("signal trace: malformed line: ", line);
+        const auto nextField = [&](const char* what) {
+            if (!std::getline(ls, field, '|'))
+                fatal("signal trace: ", path, ":", lineNo,
+                      ": malformed line (missing ", what,
+                      " field): ", line);
+        };
+
+        nextField("cycle");
+        rec.cycle = parseU64Field(field, "cycle", path, lineNo, line);
+        nextField("signal");
         rec.signal = unescapeField(field);
-        if (!std::getline(ls, field, '|'))
-            fatal("signal trace: malformed line: ", line);
-        rec.objectId = std::stoull(field);
-        if (!std::getline(ls, field, '|'))
-            fatal("signal trace: malformed line: ", line);
-        rec.trail = field;
-        if (!std::getline(ls, field, '|'))
-            fatal("signal trace: malformed line: ", line);
-        rec.color = static_cast<u32>(std::stoul(field));
+        nextField("object id");
+        rec.objectId =
+            parseU64Field(field, "object id", path, lineNo, line);
+        nextField("trail");
+        rec.trail = unescapeField(field);
+        nextField("color");
+        rec.color = parseU32Field(field, "color", path, lineNo, line);
         std::getline(ls, field);
         rec.info = unescapeField(field);
 

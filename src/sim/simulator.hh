@@ -26,6 +26,7 @@
 
 #include "sim/box.hh"
 #include "sim/clock_domain.hh"
+#include "sim/event_trace.hh"
 #include "sim/scheduler.hh"
 #include "sim/signal_binder.hh"
 #include "sim/signal_trace.hh"
@@ -129,6 +130,53 @@ class Simulator
     }
 
     SignalTraceWriter* tracer() { return _tracer.get(); }
+
+    /**
+     * Enable structured event tracing: register every box (span
+     * events come from the scheduler's clock/skip decisions), give
+     * each box the chance to wire unit-level emitters
+     * (attachEventTrace), and attach the trace to every signal.
+     * Call after all boxes are in their domains; boxes and signals
+     * added later are still picked up via the binder and explicit
+     * attachment, but ids assigned here are deterministic.  Unlike
+     * the text signal trace this does not constrain the scheduler.
+     */
+    void
+    enableEventTrace()
+    {
+        if (_eventTrace)
+            return;
+        _eventTrace = std::make_unique<EventTrace>();
+        for (auto& d : _domains) {
+            for (Box* box : d->boxes()) {
+                box->installEventTrace(
+                    _eventTrace.get(),
+                    _eventTrace->registerBox(box->name()));
+                box->attachEventTrace(*_eventTrace);
+            }
+        }
+        _binder.setEventTrace(_eventTrace.get());
+    }
+
+    EventTrace* eventTrace() { return _eventTrace.get(); }
+
+    /**
+     * Close all open activity spans at the current cycle and return
+     * the merged, cycle-sorted trace snapshot.  Run between steps on
+     * the simulator thread (no worker is inside a phase then);
+     * recording continues afterwards if the model keeps running.
+     */
+    EventTraceData
+    finishEventTrace()
+    {
+        if (!_eventTrace)
+            fatal("finishEventTrace: event tracing is not enabled");
+        for (auto& d : _domains) {
+            for (Box* box : d->boxes())
+                box->finishEventSpan();
+        }
+        return _eventTrace->collect();
+    }
 
     /** Master ticks elapsed (the rate of divider-1 domains). */
     Cycle cycle() const { return _tick; }
@@ -248,6 +296,7 @@ class Simulator
     std::vector<std::unique_ptr<ClockDomain>> _domains;
     std::unique_ptr<Scheduler> _scheduler;
     std::unique_ptr<SignalTraceWriter> _tracer;
+    std::unique_ptr<EventTrace> _eventTrace;
     Cycle _tick = 0;
     bool _idleSkip = true;
 };

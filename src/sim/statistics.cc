@@ -28,6 +28,10 @@ StatisticManager::get(const std::string& box_name,
 const Statistic*
 StatisticManager::find(const std::string& full_name) const
 {
+    // get() may insert from any worker thread (boxes register
+    // statistics lazily), so every map traversal needs the registry
+    // lock — an unlocked find() races the rebalancing of the tree.
+    std::lock_guard<std::mutex> lock(_registry);
     auto it = _stats.find(full_name);
     return it == _stats.end() ? nullptr : it->second.get();
 }
@@ -35,6 +39,7 @@ StatisticManager::find(const std::string& full_name) const
 void
 StatisticManager::closeAllWindows()
 {
+    std::lock_guard<std::mutex> lock(_registry);
     for (auto& [name, stat] : _stats)
         stat->closeWindow();
     ++_sampleCount;
@@ -43,6 +48,7 @@ StatisticManager::closeAllWindows()
 std::vector<std::string>
 StatisticManager::names() const
 {
+    std::lock_guard<std::mutex> lock(_registry);
     std::vector<std::string> out;
     out.reserve(_stats.size());
     for (const auto& [name, stat] : _stats)
@@ -53,6 +59,7 @@ StatisticManager::names() const
 void
 StatisticManager::writeCsv(std::ostream& os) const
 {
+    std::lock_guard<std::mutex> lock(_registry);
     os << "window";
     for (const auto& [name, stat] : _stats)
         os << ',' << name;
@@ -73,6 +80,7 @@ StatisticManager::writeCsv(std::ostream& os) const
 void
 StatisticManager::writeTotalsCsv(std::ostream& os) const
 {
+    std::lock_guard<std::mutex> lock(_registry);
     os << "statistic,total\n";
     for (const auto& [name, stat] : _stats)
         os << name << ',' << stat->total() << '\n';

@@ -119,12 +119,17 @@ class BatchedStat
 /**
  * Name server that registers, samples and dumps statistics.
  *
- * Threading contract under the parallel scheduler: registration
- * (get()) is mutex-protected and may run from any thread; each
- * Statistic is incremented only by the box that registered it (one
- * owner per counter, signal write counters belong to the signal's
- * single writer), and window closing runs on the simulator thread
- * between cycles, when no worker is inside a phase.
+ * Threading contract under the parallel scheduler: every method that
+ * touches the registry map (get(), find(), names(), the CSV dumps
+ * and closeAllWindows()) takes the registry mutex, so lookups may
+ * run from any thread concurrently with worker-side registration.
+ * The *contents* of a Statistic are not locked: each Statistic is
+ * incremented only by the box that registered it (one owner per
+ * counter, signal write counters belong to the signal's single
+ * writer), and window closing / CSV dumping runs on the simulator
+ * thread between cycles, when no worker is inside a phase — so a
+ * pointer returned by find() is safe to read only under that same
+ * quiescence rule.
  */
 class StatisticManager
 {

@@ -3,6 +3,10 @@
  * Unit tests for the boxes-and-signals simulation framework.
  */
 
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "sim/box.hh"
@@ -249,6 +253,151 @@ TEST(SignalTrace, RoundTrip)
     EXPECT_EQ(reader.activity("absent", 0, 100), 0u);
     EXPECT_EQ(reader.signalNames().size(), 2u);
     std::remove(path.c_str());
+}
+
+TEST(SignalTrace, RoundTripEscapedCharacters)
+{
+    // '|' is the field separator and '\' the escape character; both,
+    // plus embedded newlines, must survive write → read unchanged in
+    // every escaped field (signal name, trail, info).
+    const std::string path = "test_signal_trace_esc.tmp";
+    const std::string nasty = "a|b\\c\nd\\\\|e";
+    DynamicObject parent;
+    {
+        SignalTraceWriter writer(path);
+        auto obj = makeObj(nasty);
+        obj->copyTrailFrom(parent);
+        writer.record(1, "stage|odd\\name", *obj);
+        writer.record(2, "plain", *makeObj("\\n is not a newline"));
+    }
+    SignalTraceReader reader(path);
+    ASSERT_EQ(reader.records().size(), 2u);
+    EXPECT_EQ(reader.records()[0].signal, "stage|odd\\name");
+    EXPECT_EQ(reader.records()[0].info, nasty);
+    EXPECT_EQ(reader.records()[0].trail,
+              std::to_string(parent.id()));
+    EXPECT_EQ(reader.records()[1].info, "\\n is not a newline");
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** Diagnostic text from parsing @p body as a signal trace file. */
+std::string
+traceParseError(const std::string& body)
+{
+    const std::string path = "test_signal_trace_bad.tmp";
+    {
+        std::ofstream out(path);
+        out << body;
+    }
+    std::string message;
+    try {
+        SignalTraceReader reader(path);
+        ADD_FAILURE() << "expected FatalError for: " << body;
+    } catch (const FatalError& e) {
+        message = e.what();
+    }
+    std::remove(path.c_str());
+    return message;
+}
+
+} // anonymous namespace
+
+TEST(SignalTrace, CorruptInputFatalsWithLocation)
+{
+    // Non-numeric cycle: diagnostic names file, line and content.
+    std::string msg = traceParseError("# header\nbogus|s|1|t|0|i\n");
+    EXPECT_NE(msg.find("test_signal_trace_bad.tmp:2"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("non-numeric cycle"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("bogus|s|1|t|0|i"), std::string::npos) << msg;
+
+    // Negative numbers are not unsigned fields.
+    msg = traceParseError("-4|s|1|t|0|i\n");
+    EXPECT_NE(msg.find("non-numeric cycle"), std::string::npos)
+        << msg;
+
+    // Overflow past u64 in the object id.
+    msg = traceParseError("1|s|99999999999999999999|t|0|i\n");
+    EXPECT_NE(msg.find("overflowing object id"), std::string::npos)
+        << msg;
+
+    // A color that fits u64 but not u32.
+    msg = traceParseError("1|s|1|t|4294967296|i\n");
+    EXPECT_NE(msg.find("overflowing color"), std::string::npos)
+        << msg;
+
+    // Truncated line: missing fields are named.
+    msg = traceParseError("7|only_two\n");
+    EXPECT_NE(msg.find("missing object id"), std::string::npos)
+        << msg;
+
+    // Empty cycle field.
+    msg = traceParseError("|s|1|t|0|i\n");
+    EXPECT_NE(msg.find("empty cycle"), std::string::npos) << msg;
+}
+
+TEST(SignalTrace, ActivityWindowIsHalfOpen)
+{
+    // activity(from, to) counts records with from <= cycle < to.
+    const std::string path = "test_signal_trace_act.tmp";
+    {
+        SignalTraceWriter writer(path);
+        writer.record(10, "s", *makeObj());
+        writer.record(20, "s", *makeObj());
+    }
+    SignalTraceReader reader(path);
+    EXPECT_EQ(reader.activity("s", 10, 20), 1u); // 20 excluded.
+    EXPECT_EQ(reader.activity("s", 10, 21), 2u);
+    EXPECT_EQ(reader.activity("s", 11, 20), 0u);
+    EXPECT_EQ(reader.activity("s", 11, 21), 1u);
+    EXPECT_EQ(reader.activity("s", 10, 10), 0u); // Empty window.
+    EXPECT_EQ(reader.activity("s", 0, 10), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Statistics, ConcurrentGetAndFind)
+{
+    // get() may insert from worker threads while other workers call
+    // find()/names(); every registry accessor must take the lock.
+    // Run under TSan this is the regression test for the find() race.
+    StatisticManager stats;
+    stats.setWindow(100);
+    constexpr u32 kThreads = 4;
+    constexpr u32 kIters = 200;
+    std::vector<std::thread> pool;
+    for (u32 t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&stats, t] {
+            const std::string box = "box" + std::to_string(t);
+            for (u32 i = 0; i < kIters; ++i) {
+                stats.get(box, "ctr" + std::to_string(i)).inc();
+                // Probe the registry only: reading the *counter* of
+                // a statistic another thread owns is outside the
+                // threading contract, so don't dereference it here.
+                const std::string other =
+                    "box" + std::to_string((t + 1) % kThreads) +
+                    ".ctr" + std::to_string(i);
+                [[maybe_unused]] const Statistic* found =
+                    stats.find(other);
+                if (i % 50 == 0) {
+                    EXPECT_GE(stats.names().size(), 1u);
+                }
+            }
+        });
+    }
+    for (auto& thread : pool)
+        thread.join();
+    EXPECT_EQ(stats.names().size(), kThreads * kIters);
+    for (u32 t = 0; t < kThreads; ++t) {
+        const Statistic* s =
+            stats.find("box" + std::to_string(t) + ".ctr0");
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->total(), 1u);
+    }
 }
 
 TEST(DynamicObject, CookieTrail)
